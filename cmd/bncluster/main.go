@@ -1,0 +1,96 @@
+// Command bncluster runs the live distributed-monitoring system over TCP.
+// The same binary plays three roles:
+//
+//	bncluster -role coord -addr :7070 -net alarm -strategy nonuniform -sites 4 -events 500000
+//	bncluster -role site  -addr host:7070 -id 0       (one per site, ids 0..k-1)
+//	bncluster -role local -net alarm -sites 4 -events 500000
+//
+// The coordinator accepts k sites, distributes the run configuration, and
+// prints runtime, throughput and message statistics when the stream is
+// exhausted — the measurements behind Figures 7 and 8 of the paper. The
+// "local" role runs everything in one process over loopback for convenience.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"distbayes/internal/cluster"
+	"distbayes/internal/core"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "local", "coord | site | local")
+		addr     = flag.String("addr", "127.0.0.1:7070", "coordinator address (listen or dial)")
+		id       = flag.Uint("id", 0, "site id (role=site)")
+		netName  = flag.String("net", "alarm", "network name (see bngen -list)")
+		strategy = flag.String("strategy", "nonuniform", "exact | baseline | uniform | nonuniform")
+		eps      = flag.Float64("eps", 0.1, "approximation budget")
+		delta    = flag.Float64("delta", 0.25, "failure probability")
+		sites    = flag.Int("sites", 4, "number of sites k")
+		events   = flag.Int("events", 100000, "total training events")
+		seed     = flag.Uint64("seed", 1, "stream seed")
+		latency  = flag.Uint("latency", 0, "artificial per-frame latency at sites (microseconds)")
+	)
+	flag.Parse()
+
+	st, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := cluster.Config{
+		NetName:       *netName,
+		CPTSeed:       *seed + 0xC0DE,
+		Strategy:      st,
+		Eps:           *eps,
+		Delta:         *delta,
+		Sites:         *sites,
+		Events:        *events,
+		StreamSeed:    *seed,
+		LatencyMicros: uint32(*latency),
+	}
+
+	switch *role {
+	case "coord":
+		co, err := cluster.NewCoordinator(cfg, *addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer co.Close()
+		fmt.Printf("coordinator listening on %s, waiting for %d sites\n", co.Addr(), cfg.Sites)
+		res, err := co.Serve()
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+	case "site":
+		st, err := cluster.NewSite(uint32(*id), *addr).Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("site %d done: cluster stats %+v\n", *id, st)
+	case "local":
+		res, _, err := cluster.RunLocal(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report(res)
+	default:
+		fatal(fmt.Errorf("unknown role %q", *role))
+	}
+}
+
+func report(res cluster.Result) {
+	fmt.Printf("events      %d\n", res.Stats.Events)
+	fmt.Printf("frames      %d\n", res.Stats.Frames)
+	fmt.Printf("updates     %d\n", res.Stats.Updates)
+	fmt.Printf("runtime     %v\n", res.Runtime)
+	fmt.Printf("throughput  %.0f events/sec\n", res.Throughput)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bncluster:", err)
+	os.Exit(1)
+}

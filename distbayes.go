@@ -1,0 +1,147 @@
+// Package distbayes is a from-scratch Go implementation of
+// "Learning Graphical Models from a Distributed Stream"
+// (Yu Zhang, Srikanta Tirthapura, Graham Cormode; ICDE 2018).
+//
+// It continuously maintains the parameters (conditional probability
+// distributions) of a Bayesian network over a stream of training events that
+// is horizontally partitioned across k distributed sites, in the continuous
+// distributed monitoring model: a coordinator holds an (ε, δ)-approximation
+// of the exact maximum-likelihood estimate at all times while exchanging
+// exponentially fewer messages than exact maintenance.
+//
+// The package is a thin facade over the implementation packages:
+//
+//	internal/bn          Bayesian-network substrate (DAG, CPTs, sampling)
+//	internal/counter     distributed counters (exact, HYZ randomized, deterministic)
+//	internal/core        the tracking algorithms (EXACTMLE, BASELINE, UNIFORM,
+//	                     NONUNIFORM, Naïve-Bayes specialization, classification)
+//	internal/budget      the Lagrange error-budget allocator (eqs. 5-9)
+//	internal/netgen      Table I network generators and variants
+//	internal/stream      workload generation (training streams, test queries)
+//	internal/cluster     live TCP implementation (coordinator + sites)
+//	internal/chowliu     offline Chow–Liu structure learning
+//	internal/decay       time-decayed counters (future-work extension)
+//	internal/experiments one driver per paper table/figure
+//
+// Quickstart (see examples/quickstart for the runnable version):
+//
+//	net, _ := distbayes.NewNetwork([]distbayes.Variable{
+//		{Name: "Weather", Card: 3},
+//		{Name: "Traffic", Card: 2, Parents: []int{0}},
+//	})
+//	tr, _ := distbayes.NewTracker(net, distbayes.Config{
+//		Strategy: distbayes.NonUniform, Eps: 0.1, Sites: 30,
+//	})
+//	tr.Update(site, event) // once per observation, at the receiving site
+//	p := tr.QueryProb([]int{1, 0})
+package distbayes
+
+import (
+	"distbayes/internal/bif"
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/counter"
+	"distbayes/internal/netgen"
+	"distbayes/internal/stream"
+)
+
+// Core model types.
+type (
+	// Variable declares one categorical node of a Bayesian network.
+	Variable = bn.Variable
+	// Network is a validated DAG over categorical variables.
+	Network = bn.Network
+	// CPT is one conditional probability table.
+	CPT = bn.CPT
+	// Model is a network with ground-truth parameters.
+	Model = bn.Model
+	// RNG is the deterministic random generator used across the library.
+	RNG = bn.RNG
+)
+
+// Tracking types (the paper's contribution).
+type (
+	// Tracker continuously maintains the approximate MLE.
+	Tracker = core.Tracker
+	// Config parameterizes a Tracker.
+	Config = core.Config
+	// Strategy selects the tracking algorithm.
+	Strategy = core.Strategy
+	// Allocation holds per-variable counter error parameters.
+	Allocation = core.Allocation
+	// Metrics tallies protocol messages.
+	Metrics = counter.Metrics
+)
+
+// Strategies.
+const (
+	// ExactMLE maintains exact counters (Lemma 5 strawman).
+	ExactMLE = core.ExactMLE
+	// Baseline divides the budget as ε/(3n) (Section IV-C).
+	Baseline = core.Baseline
+	// Uniform divides the budget as ε/(16√n) (Section IV-D).
+	Uniform = core.Uniform
+	// NonUniform uses the Lagrange allocation (Section IV-E).
+	NonUniform = core.NonUniform
+	// NaiveBayes is the Section V specialization for Naïve-Bayes models.
+	NaiveBayes = core.NaiveBayes
+)
+
+// NewNetwork validates variables into a Network.
+func NewNetwork(vars []Variable) (*Network, error) { return bn.NewNetwork(vars) }
+
+// NewModel pairs a network with CPTs.
+func NewModel(net *Network, cpds []*CPT) (*Model, error) { return bn.NewModel(net, cpds) }
+
+// NewCPT builds one conditional probability table.
+func NewCPT(card, parentCard int, table []float64) (*CPT, error) {
+	return bn.NewCPT(card, parentCard, table)
+}
+
+// NewTracker initializes the distributed counters for net (Algorithm 1).
+func NewTracker(net *Network, cfg Config) (*Tracker, error) { return core.NewTracker(net, cfg) }
+
+// LoadNetwork returns one of the built-in Table I networks by name:
+// "alarm", "hepar2", "link", "munin" or "new-alarm".
+func LoadNetwork(name string) (*Network, error) { return netgen.ByName(name) }
+
+// LoadModel returns a built-in network with default ground-truth CPTs.
+func LoadModel(name string) (*Model, error) { return netgen.ModelByName(name) }
+
+// NetworkNames lists the built-in network names.
+func NetworkNames() []string { return netgen.Names() }
+
+// Workload types.
+type (
+	// Training couples a ground-truth sampler with a site assigner.
+	Training = stream.Training
+	// Query is one probability test event.
+	Query = stream.Query
+	// Assigner routes events to sites.
+	Assigner = stream.Assigner
+)
+
+// NewTraining builds a training stream over k uniformly loaded sites.
+func NewTraining(model *Model, sites int, seed uint64) *Training {
+	return stream.NewTraining(model, stream.NewUniformAssigner(sites, seed^0xdead), seed)
+}
+
+// GenQueries samples probability test events with truth at least minProb.
+func GenQueries(model *Model, count int, minProb float64, seed uint64) ([]Query, error) {
+	return stream.GenQueries(model, stream.QueryOptions{Count: count, MinProb: minProb, Seed: seed})
+}
+
+// MarshalBIF renders a model in the Bayesian Interchange Format subset
+// understood by UnmarshalBIF — compatible with the bnlearn repository files
+// the paper's networks come from.
+func MarshalBIF(name string, m *Model) ([]byte, error) { return bif.Marshal(name, m) }
+
+// UnmarshalBIF parses a BIF document into a model, e.g. a genuine
+// repository network downloaded separately.
+func UnmarshalBIF(data []byte) (*Model, error) { return bif.Unmarshal(data) }
+
+// KLDivergence estimates D(P‖Q) in nats by Monte Carlo — the standard
+// distance between a ground-truth model and a learned one.
+func KLDivergence(p, q *Model, samples int, seed uint64) (float64, error) {
+	return bn.KLDivergenceEstimate(p, q, samples, seed)
+}

@@ -1,0 +1,86 @@
+package distbayes_test
+
+import (
+	"math"
+	"testing"
+
+	"distbayes"
+)
+
+// TestFacadeEndToEnd exercises the public API the way a downstream user
+// would: define a network, stream distributed observations, query.
+func TestFacadeEndToEnd(t *testing.T) {
+	net, err := distbayes.NewNetwork([]distbayes.Variable{
+		{Name: "Weather", Card: 3},
+		{Name: "Traffic", Card: 2, Parents: []int{0}},
+		{Name: "Late", Card: 2, Parents: []int{1}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cptW, _ := distbayes.NewCPT(3, 1, []float64{0.5, 0.3, 0.2})
+	cptT, _ := distbayes.NewCPT(2, 3, []float64{0.8, 0.2, 0.5, 0.5, 0.1, 0.9})
+	cptL, _ := distbayes.NewCPT(2, 2, []float64{0.9, 0.1, 0.3, 0.7})
+	model, err := distbayes.NewModel(net, []*distbayes.CPT{cptW, cptT, cptL})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const sites = 8
+	exact, err := distbayes.NewTracker(net, distbayes.Config{Strategy: distbayes.ExactMLE, Sites: sites})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := distbayes.NewTracker(net, distbayes.Config{
+		Strategy: distbayes.NonUniform, Eps: 0.1, Sites: sites, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	training := distbayes.NewTraining(model, sites, 21)
+	for e := 0; e < 40000; e++ {
+		site, x := training.Next()
+		exact.Update(site, x)
+		approx.Update(site, x)
+	}
+
+	queries, err := distbayes.GenQueries(model, 200, 0.01, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries {
+		ref := exact.QuerySubsetProb(q.Set, q.X)
+		got := approx.QuerySubsetProb(q.Set, q.X)
+		if ref <= 0 {
+			continue
+		}
+		if r := got / ref; r < math.Exp(-0.4) || r > math.Exp(0.4) {
+			t.Errorf("query ratio to MLE %v out of range", r)
+		}
+	}
+	if approx.Messages().Total() >= exact.Messages().Total() {
+		t.Errorf("approximate tracker (%d msgs) not cheaper than exact (%d)",
+			approx.Messages().Total(), exact.Messages().Total())
+	}
+}
+
+func TestFacadeBuiltinNetworks(t *testing.T) {
+	names := distbayes.NetworkNames()
+	if len(names) != 5 {
+		t.Fatalf("NetworkNames = %v", names)
+	}
+	net, err := distbayes.LoadNetwork("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Len() != 37 || net.NumParams() != 509 {
+		t.Errorf("alarm: %d nodes %d params", net.Len(), net.NumParams())
+	}
+	if _, err := distbayes.LoadModel("hepar2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := distbayes.LoadNetwork("bogus"); err == nil {
+		t.Error("bogus network accepted")
+	}
+}

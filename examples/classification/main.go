@@ -1,0 +1,86 @@
+// Classification demonstrates the paper's Section V application: online
+// Bayesian classification over a distributed stream, in the style of the
+// malware-triage motivation of Section I — labelled examples arrive at many
+// collection points, and the coordinator continuously maintains a Naïve-
+// Bayes classifier without centralizing the stream.
+//
+// The class variable is binary (benign / malicious) and the features are
+// categorical telemetry attributes. The example compares EXACTMLE with the
+// Naïve-Bayes specialization of NONUNIFORM (equation 9, Lemma 11) on both
+// prediction error and communication.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/netgen"
+	"distbayes/internal/stream"
+)
+
+func main() {
+	const (
+		features = 12
+		sites    = 20
+		events   = 100000
+		tests    = 2000
+		eps      = 0.1
+	)
+
+	// Telemetry features with mixed cardinalities (e.g. origin, packer,
+	// section-count bucket, entropy bucket, ...).
+	cards := make([]int, features)
+	for i := range cards {
+		cards[i] = 2 + i%4
+	}
+	net, err := netgen.NaiveBayesNet(2, cards)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpds, err := netgen.GenCPTs(net, netgen.CPTOptions{Alpha: 2.5, Floor: 0.35, Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	model, err := bn.NewModel(net, cpds)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Test cases: full telemetry vectors with the class (variable 0) hidden.
+	cases, err := stream.GenClassTests(model, tests, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := range cases {
+		cases[i].Target = 0
+		cases[i].Want = cases[i].X[0]
+	}
+
+	fmt.Printf("naive-bayes malware triage: %d features, %d sites, %d training events\n\n",
+		features, sites, events)
+	fmt.Println("algorithm    error-rate  messages")
+	for _, st := range []core.Strategy{core.ExactMLE, core.Uniform, core.NaiveBayes} {
+		tr, err := core.NewTracker(net, core.Config{
+			Strategy: st, Eps: eps, Sites: sites, Seed: 13, Smoothing: 0.5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		training := stream.NewTraining(model, stream.NewUniformAssigner(sites, 17), 19)
+		for e := 0; e < events; e++ {
+			site, x := training.Next()
+			tr.Update(site, x)
+		}
+		wrong := 0
+		for _, tc := range cases {
+			if tr.Classify(tc.Target, tc.X) != tc.Want {
+				wrong++
+			}
+		}
+		fmt.Printf("%-12s %.4f      %d\n", st, float64(wrong)/float64(len(cases)), tr.Messages().Total())
+	}
+	fmt.Println("\nthe tracked classifiers match the exact model's error rate at a fraction")
+	fmt.Println("of the communication (Theorem 3)")
+}

@@ -1,0 +1,68 @@
+// Quickstart: define a small Bayesian network, stream distributed training
+// events through an approximate tracker, and compare its answers and
+// communication cost against exact MLE maintenance.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"distbayes"
+)
+
+func main() {
+	// A three-variable commute model: Weather -> Traffic -> Late.
+	net, err := distbayes.NewNetwork([]distbayes.Variable{
+		{Name: "Weather", Card: 3},                    // clear / rain / snow
+		{Name: "Traffic", Card: 2, Parents: []int{0}}, // light / heavy
+		{Name: "Late", Card: 2, Parents: []int{1}},    // on-time / late
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth used to generate the stream (in a real deployment the
+	// events come from the outside world).
+	cptW, _ := distbayes.NewCPT(3, 1, []float64{0.6, 0.3, 0.1})
+	cptT, _ := distbayes.NewCPT(2, 3, []float64{0.8, 0.2, 0.4, 0.6, 0.1, 0.9})
+	cptL, _ := distbayes.NewCPT(2, 2, []float64{0.9, 0.1, 0.35, 0.65})
+	model, err := distbayes.NewModel(net, []*distbayes.CPT{cptW, cptT, cptL})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		sites  = 12
+		events = 200000
+		eps    = 0.1
+	)
+	exact, err := distbayes.NewTracker(net, distbayes.Config{Strategy: distbayes.ExactMLE, Sites: sites})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker, err := distbayes.NewTracker(net, distbayes.Config{
+		Strategy: distbayes.NonUniform, Eps: eps, Sites: sites, Seed: 7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	training := distbayes.NewTraining(model, sites, 42)
+	for e := 0; e < events; e++ {
+		site, x := training.Next()
+		exact.Update(site, x)
+		tracker.Update(site, x)
+	}
+
+	fmt.Printf("trained on %d events across %d sites (eps=%.2f)\n\n", events, sites, eps)
+	fmt.Println("joint probability estimates:")
+	fmt.Println("  event                    truth    exact-MLE  nonuniform")
+	for _, q := range [][]int{{0, 0, 0}, {1, 1, 1}, {2, 1, 1}, {0, 1, 0}} {
+		fmt.Printf("  W=%d T=%d L=%d          %8.5f  %9.5f  %10.5f\n",
+			q[0], q[1], q[2], model.JointProb(q), exact.QueryProb(q), tracker.QueryProb(q))
+	}
+
+	em, am := exact.Messages().Total(), tracker.Messages().Total()
+	fmt.Printf("\ncommunication: exact=%d messages, nonuniform=%d messages (%.1fx fewer)\n",
+		em, am, float64(em)/float64(am))
+}

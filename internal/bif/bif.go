@@ -1,0 +1,511 @@
+// Package bif reads and writes Bayesian networks in a subset of the BIF
+// (Bayesian Interchange Format) used by the bnlearn repository the paper
+// takes its networks from. With network access, the genuine ALARM/HEPAR
+// II/LINK/MUNIN .bif files can be loaded in place of the synthetic twins of
+// internal/netgen; the format is also a convenient human-readable exchange
+// format for models built with this library.
+//
+// Supported grammar (whitespace-insensitive):
+//
+//	network <name> { }
+//	variable <name> {
+//	  type discrete [ <card> ] { <value>, ... };
+//	}
+//	probability ( <child> ) {
+//	  table <p0>, <p1>, ...;
+//	}
+//	probability ( <child> | <parent>, ... ) {
+//	  ( <v1>, <v2>, ... ) <p0>, <p1>, ...;
+//	  ...
+//	}
+//
+// Comments (// and /* */) are ignored. Probability rows are indexed by the
+// named parent values, so row order in the file is free.
+package bif
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"distbayes/internal/bn"
+)
+
+// Marshal renders a model in BIF.
+func Marshal(name string, m *bn.Model) ([]byte, error) {
+	if name == "" {
+		name = "unnamed"
+	}
+	net := m.Network()
+	var b strings.Builder
+	fmt.Fprintf(&b, "network %s {\n}\n", ident(name))
+	for i := 0; i < net.Len(); i++ {
+		v := net.Var(i)
+		fmt.Fprintf(&b, "variable %s {\n  type discrete [ %d ] { ", ident(v.Name), v.Card)
+		for j := 0; j < v.Card; j++ {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(valueName(j))
+		}
+		b.WriteString(" };\n}\n")
+	}
+	for i := 0; i < net.Len(); i++ {
+		v := net.Var(i)
+		if len(v.Parents) == 0 {
+			fmt.Fprintf(&b, "probability ( %s ) {\n  table %s;\n}\n",
+				ident(v.Name), probRow(m.CPD(i).Row(0)))
+			continue
+		}
+		fmt.Fprintf(&b, "probability ( %s |", ident(v.Name))
+		for pi, p := range v.Parents {
+			if pi > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, " %s", ident(net.Var(p).Name))
+		}
+		b.WriteString(" ) {\n")
+		for pidx := 0; pidx < net.ParentCard(i); pidx++ {
+			vals := net.ParentValues(i, pidx)
+			b.WriteString("  (")
+			for vi, val := range vals {
+				if vi > 0 {
+					b.WriteString(",")
+				}
+				b.WriteString(" " + valueName(val))
+			}
+			fmt.Fprintf(&b, " ) %s;\n", probRow(m.CPD(i).Row(pidx)))
+		}
+		b.WriteString("}\n")
+	}
+	return []byte(b.String()), nil
+}
+
+// valueName is the canonical value label used by Marshal: s0, s1, ...
+func valueName(j int) string { return "s" + strconv.Itoa(j) }
+
+func probRow(row []float64) string {
+	parts := make([]string, len(row))
+	for i, p := range row {
+		parts[i] = strconv.FormatFloat(p, 'g', 17, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ident sanitizes a name into a BIF identifier.
+func ident(s string) string {
+	var b strings.Builder
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-', r == '.':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	if b.Len() == 0 {
+		return "_"
+	}
+	return b.String()
+}
+
+// Unmarshal parses a BIF document into a model. Variables keep file order;
+// parent references may be forward or backward (the DAG check happens in
+// bn.NewNetwork).
+func Unmarshal(data []byte) (*bn.Model, error) {
+	p := &parser{toks: tokenize(string(data))}
+	doc, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	return doc.build()
+}
+
+// --- tokenizer ---
+
+func tokenize(s string) []string {
+	var toks []string
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(s) && s[i+1] == '/':
+			for i < len(s) && s[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < len(s) && s[i+1] == '*':
+			i += 2
+			for i+1 < len(s) && !(s[i] == '*' && s[i+1] == '/') {
+				i++
+			}
+			i += 2
+		case strings.ContainsRune("{}()[]|,;", rune(c)):
+			toks = append(toks, string(c))
+			i++
+		default:
+			j := i
+			for j < len(s) && !strings.ContainsRune("{}()[]|,; \t\n\r", rune(s[j])) {
+				j++
+			}
+			toks = append(toks, s[i:j])
+			i = j
+		}
+	}
+	return toks
+}
+
+// --- parser ---
+
+type bifVariable struct {
+	name   string
+	values []string
+}
+
+type bifProb struct {
+	child   string
+	parents []string
+	// table is set for root CPDs; rows maps parent-value tuples to rows.
+	table []float64
+	rows  map[string][]float64
+}
+
+type bifDoc struct {
+	vars  []bifVariable
+	probs []bifProb
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) next() (string, error) {
+	if p.pos >= len(p.toks) {
+		return "", fmt.Errorf("bif: unexpected end of input")
+	}
+	t := p.toks[p.pos]
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) expect(want string) error {
+	t, err := p.next()
+	if err != nil {
+		return err
+	}
+	if t != want {
+		return fmt.Errorf("bif: expected %q, got %q (token %d)", want, t, p.pos)
+	}
+	return nil
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) parse() (*bifDoc, error) {
+	doc := &bifDoc{}
+	for p.pos < len(p.toks) {
+		kw, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "network":
+			if _, err := p.next(); err != nil { // name
+				return nil, err
+			}
+			if err := p.skipBlock(); err != nil {
+				return nil, err
+			}
+		case "variable":
+			v, err := p.parseVariable()
+			if err != nil {
+				return nil, err
+			}
+			doc.vars = append(doc.vars, v)
+		case "probability":
+			pr, err := p.parseProbability()
+			if err != nil {
+				return nil, err
+			}
+			doc.probs = append(doc.probs, pr)
+		default:
+			return nil, fmt.Errorf("bif: unexpected token %q", kw)
+		}
+	}
+	return doc, nil
+}
+
+func (p *parser) skipBlock() error {
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	depth := 1
+	for depth > 0 {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		switch t {
+		case "{":
+			depth++
+		case "}":
+			depth--
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseVariable() (bifVariable, error) {
+	var v bifVariable
+	name, err := p.next()
+	if err != nil {
+		return v, err
+	}
+	v.name = name
+	if err := p.expect("{"); err != nil {
+		return v, err
+	}
+	if err := p.expect("type"); err != nil {
+		return v, err
+	}
+	if err := p.expect("discrete"); err != nil {
+		return v, err
+	}
+	if err := p.expect("["); err != nil {
+		return v, err
+	}
+	cardTok, err := p.next()
+	if err != nil {
+		return v, err
+	}
+	card, err := strconv.Atoi(cardTok)
+	if err != nil || card < 1 {
+		return v, fmt.Errorf("bif: bad cardinality %q for %s", cardTok, name)
+	}
+	if err := p.expect("]"); err != nil {
+		return v, err
+	}
+	if err := p.expect("{"); err != nil {
+		return v, err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return v, err
+		}
+		if t == "}" {
+			break
+		}
+		if t == "," {
+			continue
+		}
+		v.values = append(v.values, t)
+	}
+	if len(v.values) != card {
+		return v, fmt.Errorf("bif: variable %s declares %d values, cardinality %d", name, len(v.values), card)
+	}
+	if err := p.expect(";"); err != nil {
+		// Tolerate a missing trailing semicolon inside the block.
+		p.pos--
+	}
+	if err := p.expect("}"); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+func (p *parser) parseProbability() (bifProb, error) {
+	var pr bifProb
+	pr.rows = map[string][]float64{}
+	if err := p.expect("("); err != nil {
+		return pr, err
+	}
+	child, err := p.next()
+	if err != nil {
+		return pr, err
+	}
+	pr.child = child
+	if p.peek() == "|" {
+		p.pos++
+		for {
+			t, err := p.next()
+			if err != nil {
+				return pr, err
+			}
+			if t == ")" {
+				break
+			}
+			if t == "," {
+				continue
+			}
+			pr.parents = append(pr.parents, t)
+		}
+	} else if err := p.expect(")"); err != nil {
+		return pr, err
+	}
+	if err := p.expect("{"); err != nil {
+		return pr, err
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return pr, err
+		}
+		switch t {
+		case "}":
+			return pr, nil
+		case "table":
+			row, err := p.parseNumbersUntil(";")
+			if err != nil {
+				return pr, err
+			}
+			pr.table = row
+		case "(":
+			var key []string
+			for {
+				t, err := p.next()
+				if err != nil {
+					return pr, err
+				}
+				if t == ")" {
+					break
+				}
+				if t == "," {
+					continue
+				}
+				key = append(key, t)
+			}
+			row, err := p.parseNumbersUntil(";")
+			if err != nil {
+				return pr, err
+			}
+			pr.rows[strings.Join(key, "\x00")] = row
+		default:
+			return pr, fmt.Errorf("bif: unexpected token %q in probability block", t)
+		}
+	}
+}
+
+func (p *parser) parseNumbersUntil(end string) ([]float64, error) {
+	var row []float64
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t == end {
+			return row, nil
+		}
+		if t == "," {
+			continue
+		}
+		f, err := strconv.ParseFloat(t, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bif: bad probability %q", t)
+		}
+		row = append(row, f)
+	}
+}
+
+// --- document -> model ---
+
+func (d *bifDoc) build() (*bn.Model, error) {
+	if len(d.vars) == 0 {
+		return nil, fmt.Errorf("bif: no variables")
+	}
+	index := map[string]int{}
+	valueIndex := make([]map[string]int, len(d.vars))
+	vars := make([]bn.Variable, len(d.vars))
+	for i, v := range d.vars {
+		if _, dup := index[v.name]; dup {
+			return nil, fmt.Errorf("bif: duplicate variable %s", v.name)
+		}
+		index[v.name] = i
+		vars[i] = bn.Variable{Name: v.name, Card: len(v.values)}
+		valueIndex[i] = map[string]int{}
+		for j, val := range v.values {
+			if _, dup := valueIndex[i][val]; dup {
+				return nil, fmt.Errorf("bif: variable %s repeats value %s", v.name, val)
+			}
+			valueIndex[i][val] = j
+		}
+	}
+
+	probs := make([]*bifProb, len(d.vars))
+	for pi := range d.probs {
+		pr := &d.probs[pi]
+		ci, ok := index[pr.child]
+		if !ok {
+			return nil, fmt.Errorf("bif: probability for unknown variable %s", pr.child)
+		}
+		if probs[ci] != nil {
+			return nil, fmt.Errorf("bif: duplicate probability block for %s", pr.child)
+		}
+		probs[ci] = pr
+		for _, pn := range pr.parents {
+			pidx, ok := index[pn]
+			if !ok {
+				return nil, fmt.Errorf("bif: unknown parent %s of %s", pn, pr.child)
+			}
+			vars[ci].Parents = append(vars[ci].Parents, pidx)
+		}
+	}
+	for i := range vars {
+		if probs[i] == nil {
+			return nil, fmt.Errorf("bif: missing probability block for %s", vars[i].Name)
+		}
+	}
+
+	net, err := bn.NewNetwork(vars)
+	if err != nil {
+		return nil, err
+	}
+
+	cpds := make([]*bn.CPT, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		pr := probs[i]
+		card, kcard := net.Card(i), net.ParentCard(i)
+		tbl := make([]float64, card*kcard)
+		if len(pr.parents) == 0 {
+			if len(pr.table) != card {
+				return nil, fmt.Errorf("bif: %s table has %d entries, want %d", vars[i].Name, len(pr.table), card)
+			}
+			copy(tbl, pr.table)
+		} else {
+			if len(pr.rows) != kcard {
+				return nil, fmt.Errorf("bif: %s has %d rows, want %d", vars[i].Name, len(pr.rows), kcard)
+			}
+			for key, row := range pr.rows {
+				vals := strings.Split(key, "\x00")
+				if len(vals) != len(pr.parents) {
+					return nil, fmt.Errorf("bif: %s row key has %d values, want %d", vars[i].Name, len(vals), len(pr.parents))
+				}
+				pv := make([]int, len(vals))
+				for j, vname := range vals {
+					parent := net.Parents(i)[j]
+					vi, ok := valueIndex[parent][vname]
+					if !ok {
+						return nil, fmt.Errorf("bif: %s row names unknown value %s of %s", vars[i].Name, vname, d.vars[parent].name)
+					}
+					pv[j] = vi
+				}
+				if len(row) != card {
+					return nil, fmt.Errorf("bif: %s row has %d entries, want %d", vars[i].Name, len(row), card)
+				}
+				copy(tbl[net.ParentIndexOf(i, pv)*card:], row)
+			}
+		}
+		cpds[i], err = bn.NewCPT(card, kcard, tbl)
+		if err != nil {
+			return nil, fmt.Errorf("bif: %s: %w", vars[i].Name, err)
+		}
+	}
+	return bn.NewModel(net, cpds)
+}

@@ -1,0 +1,162 @@
+package bif
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/netgen"
+)
+
+const sampleBIF = `
+// A classic two-node example.
+network rain_grass { }
+variable Rain {
+  type discrete [ 2 ] { no, yes };
+}
+variable Grass {
+  type discrete [ 2 ] { dry, wet };
+}
+probability ( Rain ) {
+  table 0.8, 0.2;
+}
+probability ( Grass | Rain ) {
+  ( no ) 0.9, 0.1;
+  ( yes ) 0.2, 0.8;
+}
+`
+
+func TestUnmarshalSample(t *testing.T) {
+	m, err := Unmarshal([]byte(sampleBIF))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := m.Network()
+	if net.Len() != 2 {
+		t.Fatalf("variables = %d", net.Len())
+	}
+	if net.Var(0).Name != "Rain" || net.Var(1).Name != "Grass" {
+		t.Errorf("names = %s, %s", net.Var(0).Name, net.Var(1).Name)
+	}
+	if got := m.CPD(0).P(1, 0); got != 0.2 {
+		t.Errorf("P[Rain=yes] = %v", got)
+	}
+	if got := m.CPD(1).P(1, 1); got != 0.8 {
+		t.Errorf("P[Grass=wet|Rain=yes] = %v", got)
+	}
+	// Joint: P[rain, wet] = 0.2*0.8.
+	if got := m.JointProb([]int{1, 1}); math.Abs(got-0.16) > 1e-12 {
+		t.Errorf("joint = %v", got)
+	}
+}
+
+func TestRowsInAnyOrder(t *testing.T) {
+	swapped := strings.Replace(sampleBIF,
+		"( no ) 0.9, 0.1;\n  ( yes ) 0.2, 0.8;",
+		"( yes ) 0.2, 0.8;\n  ( no ) 0.9, 0.1;", 1)
+	m, err := Unmarshal([]byte(swapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CPD(1).P(1, 1); got != 0.8 {
+		t.Errorf("row order sensitivity: P[wet|yes] = %v", got)
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	commented := "/* header \n comment */\n" + strings.ReplaceAll(sampleBIF, "table 0.8, 0.2;", "table 0.8, 0.2; // prior")
+	if _, err := Unmarshal([]byte(commented)); err != nil {
+		t.Fatalf("comments broke parsing: %v", err)
+	}
+}
+
+func TestMarshalRoundTripGeneratedNetworks(t *testing.T) {
+	for _, name := range []string{"alarm", "hepar2"} {
+		m, err := netgen.ModelByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := Marshal(name, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("%s round trip: %v", name, err)
+		}
+		net, bnet := m.Network(), back.Network()
+		if bnet.Len() != net.Len() || bnet.NumEdges() != net.NumEdges() || bnet.NumParams() != net.NumParams() {
+			t.Fatalf("%s structure changed: %d/%d/%d vs %d/%d/%d", name,
+				bnet.Len(), bnet.NumEdges(), bnet.NumParams(),
+				net.Len(), net.NumEdges(), net.NumParams())
+		}
+		// Spot-check joint probabilities agree.
+		s := m.NewSampler(5)
+		x := make([]int, net.Len())
+		for trial := 0; trial < 50; trial++ {
+			s.Sample(x)
+			a, b := m.JointProb(x), back.JointProb(x)
+			if math.Abs(a-b) > 1e-12*math.Max(a, 1e-300) {
+				t.Fatalf("%s joint differs: %v vs %v", name, a, b)
+			}
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"empty", ""},
+		{"unknown child", sampleBIF + "\nprobability ( Ghost ) { table 1.0; }"},
+		{"duplicate block", sampleBIF + "\nprobability ( Rain ) { table 0.5, 0.5; }"},
+		{"missing block", `
+			network x { }
+			variable A { type discrete [ 2 ] { a, b }; }
+		`},
+		{"bad card", `
+			network x { }
+			variable A { type discrete [ 0 ] { }; }
+			probability ( A ) { table 1.0; }
+		`},
+		{"wrong row size", strings.Replace(sampleBIF, "table 0.8, 0.2;", "table 0.8;", 1)},
+		{"unnormalized", strings.Replace(sampleBIF, "table 0.8, 0.2;", "table 0.8, 0.9;", 1)},
+		{"bad number", strings.Replace(sampleBIF, "0.8, 0.2", "0.8, zebra", 1)},
+		{"unknown parent value", strings.Replace(sampleBIF, "( no )", "( maybe )", 1)},
+		{"duplicate variable", sampleBIF + `
+			variable Rain { type discrete [ 2 ] { no, yes }; }
+		`},
+		{"cycle", `
+			network x { }
+			variable A { type discrete [ 2 ] { a0, a1 }; }
+			variable B { type discrete [ 2 ] { b0, b1 }; }
+			probability ( A | B ) { ( b0 ) 0.5, 0.5; ( b1 ) 0.5, 0.5; }
+			probability ( B | A ) { ( a0 ) 0.5, 0.5; ( a1 ) 0.5, 0.5; }
+		`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Unmarshal([]byte(tc.doc)); err == nil {
+				t.Errorf("accepted invalid document")
+			}
+		})
+	}
+}
+
+func TestIdentSanitization(t *testing.T) {
+	nw := bn.MustNetwork([]bn.Variable{{Name: "weird name!", Card: 2}})
+	cpt, _ := bn.NewCPT(2, 1, []float64{0.5, 0.5})
+	m := bn.MustModel(nw, []*bn.CPT{cpt})
+	data, err := Marshal("my net", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "weird name!") {
+		t.Error("unsanitized identifier in output")
+	}
+	if _, err := Unmarshal(data); err != nil {
+		t.Errorf("sanitized output failed to parse: %v", err)
+	}
+}

@@ -1,0 +1,213 @@
+package bn
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file provides sampling-based approximate inference for queries on
+// networks whose treewidth puts exact variable elimination (infer.go) out of
+// reach — e.g. conditional queries on the LINK- and MUNIN-scale networks of
+// the evaluation.
+
+// LikelihoodWeighting estimates P[query | evidence] by importance sampling:
+// evidence variables are clamped and weighted by their CPD likelihood,
+// everything else is forward-sampled. samples must be positive; query and
+// evidence must be disjoint with values in range. The estimator is unbiased
+// in the weighted-average sense; accuracy degrades when the evidence is
+// improbable (use GibbsMarginal there).
+func (m *Model) LikelihoodWeighting(query, evidence map[int]int, samples int, seed uint64) (float64, error) {
+	if err := m.checkQuery(query, evidence); err != nil {
+		return 0, err
+	}
+	if samples < 1 {
+		return 0, fmt.Errorf("bn: samples = %d, want >= 1", samples)
+	}
+	rng := NewRNG(seed)
+	n := m.net.Len()
+	x := make([]int, n)
+	var wMatch, wTotal float64
+	for s := 0; s < samples; s++ {
+		w := 1.0
+		for _, i := range m.net.order {
+			pidx := m.net.ParentIndex(i, x)
+			if ev, ok := evidence[i]; ok {
+				x[i] = ev
+				w *= m.cpds[i].P(ev, pidx)
+				continue
+			}
+			x[i] = sampleRow(m.cpds[i].Row(pidx), rng)
+		}
+		wTotal += w
+		match := true
+		for v, val := range query {
+			if x[v] != val {
+				match = false
+				break
+			}
+		}
+		if match {
+			wMatch += w
+		}
+	}
+	if wTotal == 0 {
+		return 0, fmt.Errorf("bn: all samples had zero weight (impossible evidence?)")
+	}
+	return wMatch / wTotal, nil
+}
+
+// GibbsMarginal estimates P[query | evidence] with Gibbs sampling: all
+// non-evidence variables are resampled in turn from their Markov-blanket
+// conditionals. burnIn sweeps are discarded, then iters sweeps are averaged.
+// The chain is ergodic whenever the model is strictly positive (the netgen
+// CPT floor guarantees this).
+func (m *Model) GibbsMarginal(query, evidence map[int]int, iters, burnIn int, seed uint64) (float64, error) {
+	if err := m.checkQuery(query, evidence); err != nil {
+		return 0, err
+	}
+	if iters < 1 || burnIn < 0 {
+		return 0, fmt.Errorf("bn: iters = %d burnIn = %d", iters, burnIn)
+	}
+	rng := NewRNG(seed)
+	n := m.net.Len()
+
+	// Initial state: forward sample with evidence clamped.
+	x := make([]int, n)
+	for _, i := range m.net.order {
+		if ev, ok := evidence[i]; ok {
+			x[i] = ev
+			continue
+		}
+		x[i] = sampleRow(m.cpds[i].Row(m.net.ParentIndex(i, x)), rng)
+	}
+	var free []int
+	for i := 0; i < n; i++ {
+		if _, ok := evidence[i]; !ok {
+			free = append(free, i)
+		}
+	}
+
+	sweep := func() {
+		for _, i := range free {
+			post := m.PosteriorVar(i, x)
+			x[i] = sampleDist(post, rng)
+		}
+	}
+	for s := 0; s < burnIn; s++ {
+		sweep()
+	}
+	hits := 0
+	for s := 0; s < iters; s++ {
+		sweep()
+		match := true
+		for v, val := range query {
+			if x[v] != val {
+				match = false
+				break
+			}
+		}
+		if match {
+			hits++
+		}
+	}
+	return float64(hits) / float64(iters), nil
+}
+
+func (m *Model) checkQuery(query, evidence map[int]int) error {
+	if len(query) == 0 {
+		return fmt.Errorf("bn: empty query")
+	}
+	n := m.net.Len()
+	check := func(v, val int) error {
+		if v < 0 || v >= n {
+			return fmt.Errorf("bn: variable %d out of range", v)
+		}
+		if val < 0 || val >= m.net.Card(v) {
+			return fmt.Errorf("bn: value %d out of range for variable %d", val, v)
+		}
+		return nil
+	}
+	for v, val := range query {
+		if err := check(v, val); err != nil {
+			return err
+		}
+		if _, dup := evidence[v]; dup {
+			return fmt.Errorf("bn: variable %d in both query and evidence", v)
+		}
+	}
+	for v, val := range evidence {
+		if err := check(v, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sampleRow draws an index from a normalized probability row.
+func sampleRow(row []float64, rng *RNG) int {
+	u := rng.Float64()
+	acc := 0.0
+	for j, p := range row {
+		acc += p
+		if u < acc {
+			return j
+		}
+	}
+	return len(row) - 1
+}
+
+// sampleDist draws an index from an arbitrary normalized distribution slice.
+func sampleDist(dist []float64, rng *RNG) int { return sampleRow(dist, rng) }
+
+// entropyRate is a small diagnostic: the average log-loss of the model on
+// its own samples (an estimate of the joint entropy in nats), used by tests
+// and examples to sanity-check learned models.
+func (m *Model) entropyRate(samples int, seed uint64) float64 {
+	s := m.NewSampler(seed)
+	x := make([]int, m.net.Len())
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		s.Sample(x)
+		total -= m.LogJointProb(x)
+	}
+	return total / float64(samples)
+}
+
+// EntropyEstimate exposes entropyRate: a Monte-Carlo estimate of the joint
+// entropy H(P) in nats from the model's own samples.
+func (m *Model) EntropyEstimate(samples int, seed uint64) (float64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("bn: samples = %d, want >= 1", samples)
+	}
+	return m.entropyRate(samples, seed), nil
+}
+
+// KLDivergenceEstimate estimates D(P‖Q) in nats by sampling from P and
+// scoring both models — the standard measure of how far a learned model Q is
+// from the ground truth P. The networks must share shape. Returns math.Inf(1)
+// if Q assigns zero probability to a sampled assignment.
+func KLDivergenceEstimate(p, q *Model, samples int, seed uint64) (float64, error) {
+	if samples < 1 {
+		return 0, fmt.Errorf("bn: samples = %d, want >= 1", samples)
+	}
+	if p.net.Len() != q.net.Len() {
+		return 0, fmt.Errorf("bn: model shapes differ: %d vs %d variables", p.net.Len(), q.net.Len())
+	}
+	for i := 0; i < p.net.Len(); i++ {
+		if p.net.Card(i) != q.net.Card(i) {
+			return 0, fmt.Errorf("bn: variable %d cardinality differs", i)
+		}
+	}
+	s := p.NewSampler(seed)
+	x := make([]int, p.net.Len())
+	total := 0.0
+	for i := 0; i < samples; i++ {
+		s.Sample(x)
+		lq := q.LogJointProb(x)
+		if math.IsInf(lq, -1) {
+			return math.Inf(1), nil
+		}
+		total += p.LogJointProb(x) - lq
+	}
+	return total / float64(samples), nil
+}

@@ -1,0 +1,60 @@
+package bn
+
+import "math"
+
+// PredictVar returns argmax_y P[X_t = y | x_{-t}] under the model, where the
+// evidence is the full assignment x with position t ignored. Because all
+// other variables are observed, the posterior over X_t is proportional to the
+// product of the factors that mention X_t: its own CPD and the CPDs of its
+// children (its Markov blanket), so the scan is O((1+#children)·J_t) rather
+// than a full joint evaluation.
+//
+// The scratch value x[t] is restored before returning. Ties break toward the
+// smaller value, matching core.Tracker.Classify.
+func (m *Model) PredictVar(t int, x []int) int {
+	saved := x[t]
+	defer func() { x[t] = saved }()
+
+	best, bestScore := 0, math.Inf(-1)
+	for y := 0; y < m.net.Card(t); y++ {
+		x[t] = y
+		score := math.Log(m.cpds[t].P(y, m.net.ParentIndex(t, x)))
+		for _, c := range m.net.Children(t) {
+			score += math.Log(m.cpds[c].P(x[c], m.net.ParentIndex(c, x)))
+		}
+		if score > bestScore {
+			best, bestScore = y, score
+		}
+	}
+	return best
+}
+
+// PosteriorVar returns the normalized posterior distribution P[X_t | x_{-t}]
+// as a fresh slice of length Card(t). If every candidate value has zero
+// probability the uniform distribution is returned.
+func (m *Model) PosteriorVar(t int, x []int) []float64 {
+	saved := x[t]
+	defer func() { x[t] = saved }()
+
+	post := make([]float64, m.net.Card(t))
+	sum := 0.0
+	for y := range post {
+		x[t] = y
+		p := m.cpds[t].P(y, m.net.ParentIndex(t, x))
+		for _, c := range m.net.Children(t) {
+			p *= m.cpds[c].P(x[c], m.net.ParentIndex(c, x))
+		}
+		post[y] = p
+		sum += p
+	}
+	if sum == 0 {
+		for y := range post {
+			post[y] = 1 / float64(len(post))
+		}
+		return post
+	}
+	for y := range post {
+		post[y] /= sum
+	}
+	return post
+}

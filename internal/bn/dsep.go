@@ -1,0 +1,117 @@
+package bn
+
+import "fmt"
+
+// DSeparated reports whether every variable in xs is d-separated from every
+// variable in ys given the conditioning set zs — the graphical criterion for
+// conditional independence in a Bayesian network. It uses the standard
+// reachability formulation (Koller & Friedman, Algorithm 3.1): a ball
+// bouncing along edges is blocked at a non-collider in Z and at a collider
+// whose descendants avoid Z.
+//
+// The sets must be disjoint; variables out of range are rejected.
+func (nw *Network) DSeparated(xs, ys, zs []int) (bool, error) {
+	n := nw.Len()
+	seen := map[int]int{} // 1=x, 2=y, 3=z
+	mark := func(vals []int, tag int) error {
+		for _, v := range vals {
+			if v < 0 || v >= n {
+				return fmt.Errorf("bn: variable %d out of range", v)
+			}
+			if prev, ok := seen[v]; ok && prev != tag {
+				return fmt.Errorf("bn: variable %d appears in multiple sets", v)
+			}
+			seen[v] = tag
+		}
+		return nil
+	}
+	if err := mark(xs, 1); err != nil {
+		return false, err
+	}
+	if err := mark(ys, 2); err != nil {
+		return false, err
+	}
+	if err := mark(zs, 3); err != nil {
+		return false, err
+	}
+	if len(xs) == 0 || len(ys) == 0 {
+		return false, fmt.Errorf("bn: d-separation needs non-empty X and Y")
+	}
+
+	inZ := make([]bool, n)
+	for _, z := range zs {
+		inZ[z] = true
+	}
+	// ancestorsOfZ: nodes with a descendant in Z (including Z itself) —
+	// colliders are open iff they are in this set.
+	ancZ := make([]bool, n)
+	var up func(int)
+	up = func(v int) {
+		if ancZ[v] {
+			return
+		}
+		ancZ[v] = true
+		for _, p := range nw.Parents(v) {
+			up(p)
+		}
+	}
+	for _, z := range zs {
+		up(z)
+	}
+
+	// Ball bouncing: states are (node, direction) with direction "up" (the
+	// ball arrived from a child, i.e. is travelling toward parents) or
+	// "down" (arrived from a parent).
+	type state struct {
+		node int
+		up   bool
+	}
+	visited := map[state]bool{}
+	var queue []state
+	for _, x := range xs {
+		queue = append(queue, state{x, true}, state{x, false})
+	}
+	targetY := make([]bool, n)
+	for _, y := range ys {
+		targetY[y] = true
+	}
+
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		if targetY[s.node] {
+			return false, nil // active path reached Y
+		}
+		if s.up {
+			// Travelling toward parents: allowed only when the node is not
+			// observed; continue up to parents and down to children.
+			if !inZ[s.node] {
+				for _, p := range nw.Parents(s.node) {
+					queue = append(queue, state{p, true})
+				}
+				for _, c := range nw.Children(s.node) {
+					queue = append(queue, state{c, false})
+				}
+			}
+		} else {
+			// Arrived from a parent.
+			if !inZ[s.node] {
+				// Chain: keep going down.
+				for _, c := range nw.Children(s.node) {
+					queue = append(queue, state{c, false})
+				}
+			}
+			// Collider: v-structure opens iff some descendant is observed.
+			if ancZ[s.node] {
+				for _, p := range nw.Parents(s.node) {
+					queue = append(queue, state{p, true})
+				}
+			}
+		}
+	}
+	return true, nil
+}

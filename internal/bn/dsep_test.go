@@ -1,0 +1,168 @@
+package bn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDSeparationCanonicalStructures(t *testing.T) {
+	// Chain A -> B -> C.
+	chain := MustNetwork([]Variable{
+		{Name: "A", Card: 2},
+		{Name: "B", Card: 2, Parents: []int{0}},
+		{Name: "C", Card: 2, Parents: []int{1}},
+	})
+	// Fork A <- B -> C.
+	fork := MustNetwork([]Variable{
+		{Name: "A", Card: 2, Parents: []int{1}},
+		{Name: "B", Card: 2},
+		{Name: "C", Card: 2, Parents: []int{1}},
+	})
+	// Collider A -> B <- C, with D a child of B.
+	collider := MustNetwork([]Variable{
+		{Name: "A", Card: 2},
+		{Name: "B", Card: 2, Parents: []int{0, 2}},
+		{Name: "C", Card: 2},
+		{Name: "D", Card: 2, Parents: []int{1}},
+	})
+
+	cases := []struct {
+		name     string
+		net      *Network
+		x, y, z  []int
+		wantDSep bool
+	}{
+		{"chain unconditioned", chain, []int{0}, []int{2}, nil, false},
+		{"chain blocked by middle", chain, []int{0}, []int{2}, []int{1}, true},
+		{"fork unconditioned", fork, []int{0}, []int{2}, nil, false},
+		{"fork blocked by root", fork, []int{0}, []int{2}, []int{1}, true},
+		{"collider blocked unconditioned", collider, []int{0}, []int{2}, nil, true},
+		{"collider opened by observation", collider, []int{0}, []int{2}, []int{1}, false},
+		{"collider opened by descendant", collider, []int{0}, []int{2}, []int{3}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := tc.net.DSeparated(tc.x, tc.y, tc.z)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != tc.wantDSep {
+				t.Errorf("DSeparated = %v, want %v", got, tc.wantDSep)
+			}
+		})
+	}
+}
+
+func TestDSeparationValidation(t *testing.T) {
+	nw := MustNetwork([]Variable{
+		{Name: "A", Card: 2},
+		{Name: "B", Card: 2, Parents: []int{0}},
+	})
+	if _, err := nw.DSeparated(nil, []int{1}, nil); err == nil {
+		t.Error("empty X accepted")
+	}
+	if _, err := nw.DSeparated([]int{0}, []int{9}, nil); err == nil {
+		t.Error("out-of-range accepted")
+	}
+	if _, err := nw.DSeparated([]int{0}, []int{0}, nil); err == nil {
+		t.Error("overlapping sets accepted")
+	}
+}
+
+// TestDSeparationSoundness property-tests the graphical criterion against
+// numeric conditional independence: whenever X ⟂ Y | Z according to
+// d-separation, the model's conditional distributions must factorize (the
+// converse need not hold for particular parameters, so only soundness is
+// asserted).
+func TestDSeparationSoundness(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := positiveRandomModel(rng, 5)
+		nw := m.Network()
+		x := rng.Intn(5)
+		y := rng.Intn(5)
+		if x == y {
+			return true
+		}
+		var zs []int
+		for v := 0; v < 5; v++ {
+			if v != x && v != y && rng.Bernoulli(0.4) {
+				zs = append(zs, v)
+			}
+		}
+		dsep, err := nw.DSeparated([]int{x}, []int{y}, zs)
+		if err != nil {
+			return false
+		}
+		if !dsep {
+			return true // nothing to check
+		}
+		// Verify P(x,y|z) = P(x|z)·P(y|z) for every assignment of (x,y,z).
+		zAssign := make(map[int]int)
+		var checkZ func(i int) bool
+		checkZ = func(i int) bool {
+			if i == len(zs) {
+				pz, err := m.MarginalProb(copyMap(zAssign))
+				if err != nil || pz < 1e-9 {
+					return true // unobservable evidence; skip
+				}
+				for xv := 0; xv < nw.Card(x); xv++ {
+					for yv := 0; yv < nw.Card(y); yv++ {
+						qx := copyMap(zAssign)
+						qx[x] = xv
+						qy := copyMap(zAssign)
+						qy[y] = yv
+						qxy := copyMap(zAssign)
+						qxy[x] = xv
+						qxy[y] = yv
+						pxy, err1 := m.MarginalProb(qxy)
+						px, err2 := m.MarginalProb(qx)
+						py, err3 := m.MarginalProb(qy)
+						if err1 != nil || err2 != nil || err3 != nil {
+							return false
+						}
+						if math.Abs(pxy/pz-(px/pz)*(py/pz)) > 1e-9 {
+							return false
+						}
+					}
+				}
+				return true
+			}
+			for v := 0; v < nw.Card(zs[i]); v++ {
+				zAssign[zs[i]] = v
+				if !checkZ(i + 1) {
+					return false
+				}
+			}
+			delete(zAssign, zs[i])
+			return true
+		}
+		if len(zs) == 0 {
+			// Unconditional independence check.
+			for xv := 0; xv < nw.Card(x); xv++ {
+				for yv := 0; yv < nw.Card(y); yv++ {
+					pxy, _ := m.MarginalProb(map[int]int{x: xv, y: yv})
+					px, _ := m.MarginalProb(map[int]int{x: xv})
+					py, _ := m.MarginalProb(map[int]int{y: yv})
+					if math.Abs(pxy-px*py) > 1e-9 {
+						return false
+					}
+				}
+			}
+			return true
+		}
+		return checkZ(0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func copyMap(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package bn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file implements exact inference by variable elimination, so that a
+// learned model (ground truth or a Tracker snapshot via EstimatedModel) can
+// answer arbitrary marginal and conditional queries — the "inferences and
+// predictions" the paper's introduction motivates. Complexity is exponential
+// in the treewidth of the elimination order (min-degree heuristic); intended
+// for the moderate-size networks of the evaluation, not for LINK/MUNIN-scale
+// joint queries.
+
+// factor is a function over a set of variables, stored mixed-radix with the
+// last variable varying fastest.
+type factor struct {
+	vars  []int // ascending variable indices
+	cards []int
+	vals  []float64
+}
+
+func newFactor(vars []int, cards []int) *factor {
+	size := 1
+	for _, c := range cards {
+		size *= c
+	}
+	return &factor{vars: vars, cards: cards, vals: make([]float64, size)}
+}
+
+// index computes the flat index for the given per-variable values (aligned
+// with f.vars).
+func (f *factor) index(vals []int) int {
+	idx := 0
+	for i, v := range vals {
+		idx = idx*f.cards[i] + v
+	}
+	return idx
+}
+
+// multiply returns the product factor over the union of the variables.
+func multiply(a, b *factor) *factor {
+	uv := unionSorted(a.vars, b.vars)
+	cards := make([]int, len(uv))
+	posA := make([]int, len(uv))
+	posB := make([]int, len(uv))
+	for i, v := range uv {
+		posA[i], posB[i] = -1, -1
+		if j := indexOf(a.vars, v); j >= 0 {
+			cards[i] = a.cards[j]
+			posA[i] = j
+		}
+		if j := indexOf(b.vars, v); j >= 0 {
+			cards[i] = b.cards[j]
+			posB[i] = j
+		}
+	}
+	out := newFactor(uv, cards)
+	assign := make([]int, len(uv))
+	va := make([]int, len(a.vars))
+	vb := make([]int, len(b.vars))
+	for i := range out.vals {
+		decode(i, cards, assign)
+		for j, p := range posA {
+			if p >= 0 {
+				va[p] = assign[j]
+			}
+		}
+		for j, p := range posB {
+			if p >= 0 {
+				vb[p] = assign[j]
+			}
+		}
+		out.vals[i] = a.vals[a.index(va)] * b.vals[b.index(vb)]
+	}
+	return out
+}
+
+// sumOut marginalizes a variable away.
+func (f *factor) sumOut(v int) *factor {
+	j := indexOf(f.vars, v)
+	if j < 0 {
+		return f
+	}
+	rv := append(append([]int(nil), f.vars[:j]...), f.vars[j+1:]...)
+	rc := append(append([]int(nil), f.cards[:j]...), f.cards[j+1:]...)
+	out := newFactor(rv, rc)
+	assign := make([]int, len(f.vars))
+	for i, val := range f.vals {
+		decode(i, f.cards, assign)
+		reduced := append(append([]int(nil), assign[:j]...), assign[j+1:]...)
+		out.vals[out.index(reduced)] += val
+	}
+	return out
+}
+
+// restrict fixes a variable to a value, dropping it from the scope.
+func (f *factor) restrict(v, val int) *factor {
+	j := indexOf(f.vars, v)
+	if j < 0 {
+		return f
+	}
+	rv := append(append([]int(nil), f.vars[:j]...), f.vars[j+1:]...)
+	rc := append(append([]int(nil), f.cards[:j]...), f.cards[j+1:]...)
+	out := newFactor(rv, rc)
+	assign := make([]int, len(f.vars))
+	for i, value := range f.vals {
+		decode(i, f.cards, assign)
+		if assign[j] != val {
+			continue
+		}
+		reduced := append(append([]int(nil), assign[:j]...), assign[j+1:]...)
+		out.vals[out.index(reduced)] = value
+	}
+	return out
+}
+
+func decode(idx int, cards []int, dst []int) {
+	for i := len(cards) - 1; i >= 0; i-- {
+		dst[i] = idx % cards[i]
+		idx /= cards[i]
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func unionSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j >= len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i >= len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// MarginalProb returns P[assign], the probability that every variable in
+// assign takes its given value, marginalizing over all other variables by
+// variable elimination (min-degree order). assign must be non-empty with
+// values in range.
+func (m *Model) MarginalProb(assign map[int]int) (float64, error) {
+	if len(assign) == 0 {
+		return 0, fmt.Errorf("bn: empty marginal query")
+	}
+	n := m.net.Len()
+	for v, val := range assign {
+		if v < 0 || v >= n {
+			return 0, fmt.Errorf("bn: query variable %d out of range", v)
+		}
+		if val < 0 || val >= m.net.Card(v) {
+			return 0, fmt.Errorf("bn: value %d out of range for variable %d", val, v)
+		}
+	}
+
+	// Build one factor per CPD, with query variables restricted immediately.
+	factors := make([]*factor, 0, n)
+	for i := 0; i < n; i++ {
+		f := m.cpdFactor(i)
+		for v, val := range assign {
+			f = f.restrict(v, val)
+		}
+		factors = append(factors, f)
+	}
+
+	// Eliminate all remaining variables, smallest resulting scope first.
+	remaining := map[int]bool{}
+	for i := 0; i < n; i++ {
+		if _, fixed := assign[i]; !fixed {
+			remaining[i] = true
+		}
+	}
+	for len(remaining) > 0 {
+		v := pickMinDegree(factors, remaining)
+		factors = eliminate(factors, v)
+		delete(remaining, v)
+	}
+
+	// All scopes are now empty; the answer is the product of the scalars.
+	p := 1.0
+	for _, f := range factors {
+		if len(f.vars) != 0 {
+			return 0, fmt.Errorf("bn: internal: non-scalar factor after elimination")
+		}
+		p *= f.vals[0]
+	}
+	return p, nil
+}
+
+// ConditionalProb returns P[query | evidence] = P[query ∪ evidence] /
+// P[evidence]. The variable sets must be disjoint. It returns 0 when the
+// evidence itself has probability 0.
+func (m *Model) ConditionalProb(query, evidence map[int]int) (float64, error) {
+	if len(query) == 0 {
+		return 0, fmt.Errorf("bn: empty conditional query")
+	}
+	joint := make(map[int]int, len(query)+len(evidence))
+	for v, val := range evidence {
+		joint[v] = val
+	}
+	for v, val := range query {
+		if _, dup := joint[v]; dup {
+			return 0, fmt.Errorf("bn: variable %d in both query and evidence", v)
+		}
+		joint[v] = val
+	}
+	num, err := m.MarginalProb(joint)
+	if err != nil {
+		return 0, err
+	}
+	if len(evidence) == 0 {
+		return num, nil
+	}
+	den, err := m.MarginalProb(evidence)
+	if err != nil {
+		return 0, err
+	}
+	if den == 0 {
+		return 0, nil
+	}
+	return num / den, nil
+}
+
+// cpdFactor converts variable i's CPD into a factor over {parents..., i}.
+func (m *Model) cpdFactor(i int) *factor {
+	scope := append(append([]int(nil), m.net.Parents(i)...), i)
+	sort.Ints(scope)
+	cards := make([]int, len(scope))
+	for j, v := range scope {
+		cards[j] = m.net.Card(v)
+	}
+	f := newFactor(scope, cards)
+	assign := make([]int, len(scope))
+	full := make([]int, m.net.Len())
+	for idx := range f.vals {
+		decode(idx, cards, assign)
+		for j, v := range scope {
+			full[v] = assign[j]
+		}
+		f.vals[idx] = m.cpds[i].P(full[i], m.net.ParentIndex(i, full))
+	}
+	return f
+}
+
+// pickMinDegree chooses the remaining variable whose elimination produces
+// the smallest combined scope.
+func pickMinDegree(factors []*factor, remaining map[int]bool) int {
+	best, bestSize := -1, 1<<62
+	for v := range remaining {
+		scope := map[int]bool{}
+		for _, f := range factors {
+			if indexOf(f.vars, v) >= 0 {
+				for _, u := range f.vars {
+					scope[u] = true
+				}
+			}
+		}
+		if len(scope) < bestSize || (len(scope) == bestSize && v < best) {
+			best, bestSize = v, len(scope)
+		}
+	}
+	return best
+}
+
+// eliminate multiplies all factors containing v and sums v out.
+func eliminate(factors []*factor, v int) []*factor {
+	var keep []*factor
+	var prod *factor
+	for _, f := range factors {
+		if indexOf(f.vars, v) < 0 {
+			keep = append(keep, f)
+			continue
+		}
+		if prod == nil {
+			prod = f
+		} else {
+			prod = multiply(prod, f)
+		}
+	}
+	if prod != nil {
+		keep = append(keep, prod.sumOut(v))
+	}
+	return keep
+}

@@ -1,0 +1,217 @@
+package bn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// randomModel builds a random n-variable model for inference testing.
+func randomModel(rng *RNG, n int) *Model {
+	vars := make([]Variable, n)
+	for i := range vars {
+		vars[i] = Variable{Name: "V", Card: 2 + rng.Intn(2)}
+		for p := 0; p < i; p++ {
+			if rng.Bernoulli(0.4) {
+				vars[i].Parents = append(vars[i].Parents, p)
+			}
+		}
+	}
+	nw := MustNetwork(vars)
+	cpds := make([]*CPT, n)
+	for i := range cpds {
+		tbl := make([]float64, nw.Card(i)*nw.ParentCard(i))
+		for k := 0; k < nw.ParentCard(i); k++ {
+			rng.Dirichlet(1.0, tbl[k*nw.Card(i):(k+1)*nw.Card(i)])
+		}
+		cpds[i], _ = NewCPT(nw.Card(i), nw.ParentCard(i), tbl)
+	}
+	return MustModel(nw, cpds)
+}
+
+// bruteMarginal enumerates all assignments consistent with assign.
+func bruteMarginal(m *Model, assign map[int]int) float64 {
+	n := m.Network().Len()
+	x := make([]int, n)
+	var rec func(i int) float64
+	rec = func(i int) float64 {
+		if i == n {
+			return m.JointProb(x)
+		}
+		if v, ok := assign[i]; ok {
+			x[i] = v
+			return rec(i + 1)
+		}
+		sum := 0.0
+		for v := 0; v < m.Network().Card(i); v++ {
+			x[i] = v
+			sum += rec(i + 1)
+		}
+		return sum
+	}
+	return rec(0)
+}
+
+func TestMarginalProbAgainstEnumeration(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		m := randomModel(rng, 2+rng.Intn(5))
+		n := m.Network().Len()
+		for trial := 0; trial < 5; trial++ {
+			assign := map[int]int{}
+			for i := 0; i < n; i++ {
+				if rng.Bernoulli(0.5) {
+					assign[i] = rng.Intn(m.Network().Card(i))
+				}
+			}
+			if len(assign) == 0 {
+				assign[0] = 0
+			}
+			got, err := m.MarginalProb(assign)
+			if err != nil {
+				return false
+			}
+			want := bruteMarginal(m, assign)
+			if math.Abs(got-want) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarginalProbValidation(t *testing.T) {
+	m := coinChain(t)
+	if _, err := m.MarginalProb(nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := m.MarginalProb(map[int]int{5: 0}); err == nil {
+		t.Error("out-of-range variable accepted")
+	}
+	if _, err := m.MarginalProb(map[int]int{0: 9}); err == nil {
+		t.Error("out-of-range value accepted")
+	}
+}
+
+func TestMarginalMatchesSingleVariableCPD(t *testing.T) {
+	m := coinChain(t) // A -> B with known tables
+	pa, err := m.MarginalProb(map[int]int{0: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pa-0.3) > 1e-12 {
+		t.Errorf("P[A=1] = %v, want 0.3", pa)
+	}
+	// P[B=1] = 0.7*0.2 + 0.3*0.9 = 0.41.
+	pb, err := m.MarginalProb(map[int]int{1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pb-0.41) > 1e-12 {
+		t.Errorf("P[B=1] = %v, want 0.41", pb)
+	}
+}
+
+func TestConditionalProb(t *testing.T) {
+	m := coinChain(t)
+	// P[A=1 | B=1] = 0.3*0.9 / 0.41.
+	got, err := m.ConditionalProb(map[int]int{0: 1}, map[int]int{1: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.3 * 0.9 / 0.41
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("P[A=1|B=1] = %v, want %v", got, want)
+	}
+	// Consistency with PosteriorVar.
+	post := m.PosteriorVar(0, []int{0, 1})
+	if math.Abs(got-post[1]) > 1e-12 {
+		t.Errorf("VE (%v) and blanket posterior (%v) disagree", got, post[1])
+	}
+	// Validation.
+	if _, err := m.ConditionalProb(nil, nil); err == nil {
+		t.Error("empty query accepted")
+	}
+	if _, err := m.ConditionalProb(map[int]int{0: 1}, map[int]int{0: 0}); err == nil {
+		t.Error("overlapping query/evidence accepted")
+	}
+	// No evidence = marginal.
+	p, err := m.ConditionalProb(map[int]int{0: 0}, nil)
+	if err != nil || math.Abs(p-0.7) > 1e-12 {
+		t.Errorf("unconditional query = %v, %v", p, err)
+	}
+}
+
+func TestMarginalConsistentWithSubsetProb(t *testing.T) {
+	rng := NewRNG(77)
+	m := randomModel(rng, 7)
+	net := m.Network()
+	for trial := 0; trial < 30; trial++ {
+		v := rng.Intn(net.Len())
+		set := net.AncestralClosure([]int{v})
+		x := make([]int, net.Len())
+		for i := range x {
+			x[i] = rng.Intn(net.Card(i))
+		}
+		assign := map[int]int{}
+		for _, i := range set {
+			assign[i] = x[i]
+		}
+		want := m.SubsetProb(set, x)
+		got, err := m.MarginalProb(assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("VE %v != closed-form subset prob %v", got, want)
+		}
+	}
+}
+
+func TestMarginalSumsToOne(t *testing.T) {
+	rng := NewRNG(5)
+	m := randomModel(rng, 6)
+	// Σ_v P[X_2 = v] must be 1.
+	sum := 0.0
+	for v := 0; v < m.Network().Card(2); v++ {
+		p, err := m.MarginalProb(map[int]int{2: v})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("marginal sums to %v", sum)
+	}
+}
+
+func TestFactorOps(t *testing.T) {
+	// f(a) over card-2, g(a,b) over card-2x3.
+	f := newFactor([]int{0}, []int{2})
+	f.vals = []float64{0.25, 0.75}
+	g := newFactor([]int{0, 1}, []int{2, 3})
+	for i := range g.vals {
+		g.vals[i] = float64(i)
+	}
+	prod := multiply(f, g)
+	if len(prod.vars) != 2 || prod.vars[0] != 0 || prod.vars[1] != 1 {
+		t.Fatalf("product scope %v", prod.vars)
+	}
+	if got := prod.vals[prod.index([]int{1, 2})]; got != 0.75*5 {
+		t.Errorf("product value = %v, want %v", got, 0.75*5)
+	}
+	summed := prod.sumOut(1)
+	if len(summed.vars) != 1 {
+		t.Fatalf("sumOut scope %v", summed.vars)
+	}
+	if got := summed.vals[1]; math.Abs(got-0.75*(3+4+5)) > 1e-12 {
+		t.Errorf("sumOut value = %v", got)
+	}
+	restr := prod.restrict(0, 1)
+	if got := restr.vals[restr.index([]int{2})]; got != 0.75*5 {
+		t.Errorf("restrict value = %v", got)
+	}
+}

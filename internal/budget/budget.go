@@ -1,0 +1,79 @@
+// Package budget solves the error-budget allocation problem at the heart of
+// the NONUNIFORM algorithm (Section IV-E of the paper):
+//
+//	minimize   Σ_i c_i / ν_i
+//	subject to Σ_i ν_i² = B,   ν_i > 0
+//
+// where c_i is the number of distributed counters in group i (so c_i/ν_i is
+// proportional to that group's communication cost) and B is the squared error
+// budget (ε²/256 in the paper). The Lagrange-multiplier solution is
+//
+//	ν_i = c_i^{1/3} · √B / (Σ_j c_j^{2/3})^{1/2}
+//
+// which reduces to equations (7), (8) and (9) of the paper for the choices
+// c_i = J_i·K_i, c_i = K_i and the Naïve-Bayes special case respectively.
+package budget
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrEmpty is returned when no cost groups are supplied.
+var ErrEmpty = errors.New("budget: no cost groups")
+
+// Allocate returns the optimal per-group error parameters ν for the convex
+// program above. costs must be positive; budgetSq must be positive.
+func Allocate(costs []float64, budgetSq float64) ([]float64, error) {
+	if len(costs) == 0 {
+		return nil, ErrEmpty
+	}
+	if !(budgetSq > 0) || math.IsInf(budgetSq, 0) || math.IsNaN(budgetSq) {
+		return nil, fmt.Errorf("budget: invalid budget %v", budgetSq)
+	}
+	sum := 0.0
+	for i, c := range costs {
+		if !(c > 0) || math.IsInf(c, 0) || math.IsNaN(c) {
+			return nil, fmt.Errorf("budget: cost %d is %v, want > 0", i, c)
+		}
+		sum += math.Cbrt(c * c) // c^{2/3}
+	}
+	scale := math.Sqrt(budgetSq / sum)
+	nu := make([]float64, len(costs))
+	for i, c := range costs {
+		nu[i] = math.Cbrt(c) * scale
+	}
+	return nu, nil
+}
+
+// Cost evaluates the objective Σ c_i/ν_i for a feasible point.
+func Cost(costs, nu []float64) float64 {
+	total := 0.0
+	for i, c := range costs {
+		total += c / nu[i]
+	}
+	return total
+}
+
+// OptimalCost returns the objective value at the optimum without
+// materializing the allocation: (Σ c^{2/3})^{3/2} / √B.
+func OptimalCost(costs []float64, budgetSq float64) float64 {
+	sum := 0.0
+	for _, c := range costs {
+		sum += math.Cbrt(c * c)
+	}
+	return math.Pow(sum, 1.5) / math.Sqrt(budgetSq)
+}
+
+// Feasible reports whether Σ ν² equals budgetSq within tol and all ν > 0.
+func Feasible(nu []float64, budgetSq, tol float64) bool {
+	sum := 0.0
+	for _, v := range nu {
+		if !(v > 0) {
+			return false
+		}
+		sum += v * v
+	}
+	return math.Abs(sum-budgetSq) <= tol*budgetSq
+}

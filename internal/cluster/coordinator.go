@@ -1,0 +1,295 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/netgen"
+)
+
+// Config parameterizes a cluster run.
+type Config struct {
+	// NetName is the netgen registry name of the network to learn.
+	NetName string
+	// CPTSeed seeds the shared ground-truth parameters.
+	CPTSeed uint64
+	// Strategy selects the tracking algorithm.
+	Strategy core.Strategy
+	// Eps, Delta are the approximation budget.
+	Eps, Delta float64
+	// Sites is k.
+	Sites int
+	// Events is the total stream length, split evenly across sites.
+	Events int
+	// StreamSeed seeds the per-site event streams.
+	StreamSeed uint64
+	// LatencyMicros adds an artificial per-frame delay at sites, emulating
+	// WAN round-trips on a loopback deployment.
+	LatencyMicros uint32
+}
+
+func (c Config) validate() error {
+	if c.NetName == "" {
+		return fmt.Errorf("cluster: empty network name")
+	}
+	if c.Sites < 1 {
+		return fmt.Errorf("cluster: sites = %d, want >= 1", c.Sites)
+	}
+	if c.Events < 1 {
+		return fmt.Errorf("cluster: events = %d, want >= 1", c.Events)
+	}
+	if c.Strategy != core.ExactMLE && !(c.Eps > 0 && c.Eps < 1) {
+		return fmt.Errorf("cluster: eps = %v, want 0 < eps < 1", c.Eps)
+	}
+	return nil
+}
+
+// Result summarizes a completed cluster run.
+type Result struct {
+	Stats Stats
+	// Runtime is the wall-clock time from the first to the last frame
+	// received by the coordinator (the paper's runtime metric).
+	Runtime time.Duration
+	// Throughput is events per second over Runtime.
+	Throughput float64
+}
+
+// Coordinator is the query-answering hub of the monitoring system.
+type Coordinator struct {
+	cfg    Config
+	net    *bn.Network
+	layout *Layout
+	ln     net.Listener
+
+	// reported[site][counter] is the site's last reported local count.
+	reported [][]int64
+
+	frames  atomic.Int64
+	updates atomic.Int64
+	events  atomic.Int64
+	firstNs atomic.Int64
+	lastNs  atomic.Int64
+}
+
+// NewCoordinator validates cfg, regenerates the shared network, and starts
+// listening on addr (use "127.0.0.1:0" for tests). Call Addr for the bound
+// address and Serve to run the protocol.
+func NewCoordinator(cfg Config, addr string) (*Coordinator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	netw, err := netgen.ByName(cfg.NetName)
+	if err != nil {
+		return nil, err
+	}
+	layout, err := NewLayout(netw, cfg.Strategy, cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	co := &Coordinator{cfg: cfg, net: netw, layout: layout, ln: ln}
+	co.reported = make([][]int64, cfg.Sites)
+	for i := range co.reported {
+		co.reported[i] = make([]int64, layout.NumCounters())
+	}
+	return co, nil
+}
+
+// Addr returns the listening address.
+func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
+
+// Close releases the listener.
+func (co *Coordinator) Close() error { return co.ln.Close() }
+
+// Serve accepts the configured number of sites, runs the training protocol
+// to completion, distributes closing stats, and returns the run result.
+func (co *Coordinator) Serve() (Result, error) {
+	type siteConn struct {
+		raw net.Conn
+		c   *conn
+		id  uint32
+	}
+	conns := make([]siteConn, 0, co.cfg.Sites)
+	defer func() {
+		for _, sc := range conns {
+			sc.raw.Close()
+		}
+	}()
+
+	for len(conns) < co.cfg.Sites {
+		raw, err := co.ln.Accept()
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: accept: %w", err)
+		}
+		c := newConn(raw)
+		t, payload, err := c.readFrame()
+		if err != nil {
+			raw.Close()
+			return Result{}, fmt.Errorf("cluster: hello: %w", err)
+		}
+		if t != frameHello {
+			raw.Close()
+			return Result{}, fmt.Errorf("cluster: first frame %d, want hello", t)
+		}
+		id, err := decodeHello(payload)
+		if err != nil {
+			raw.Close()
+			return Result{}, err
+		}
+		if id >= uint32(co.cfg.Sites) {
+			raw.Close()
+			return Result{}, fmt.Errorf("cluster: site id %d out of range", id)
+		}
+		conns = append(conns, siteConn{raw: raw, c: c, id: id})
+	}
+
+	// Distribute start configs: events split as evenly as possible.
+	per := co.cfg.Events / co.cfg.Sites
+	rem := co.cfg.Events % co.cfg.Sites
+	for _, sc := range conns {
+		ev := per
+		if int(sc.id) < rem {
+			ev++
+		}
+		start := StartConfig{
+			NetName:       co.cfg.NetName,
+			CPTSeed:       co.cfg.CPTSeed,
+			Strategy:      uint8(co.cfg.Strategy),
+			Eps:           co.cfg.Eps,
+			Delta:         co.cfg.Delta,
+			Sites:         uint32(co.cfg.Sites),
+			Site:          sc.id,
+			Events:        uint64(ev),
+			StreamSeed:    co.cfg.StreamSeed,
+			LatencyMicros: co.cfg.LatencyMicros,
+		}
+		if err := sc.c.writeFrame(frameStart, encodeStart(start)); err != nil {
+			return Result{}, err
+		}
+		if err := sc.c.flush(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(conns))
+	for i, sc := range conns {
+		wg.Add(1)
+		go func(i int, sc siteConn) {
+			defer wg.Done()
+			errs[i] = co.serveSite(sc.c, sc.id)
+		}(i, sc)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return Result{}, err
+		}
+	}
+
+	stats := Stats{
+		Frames:  co.frames.Load(),
+		Updates: co.updates.Load(),
+		Events:  co.events.Load(),
+	}
+	for _, sc := range conns {
+		if err := sc.c.writeFrame(frameStats, encodeStats(stats)); err != nil {
+			return Result{}, err
+		}
+		if err := sc.c.flush(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	runtime := time.Duration(co.lastNs.Load() - co.firstNs.Load())
+	if runtime < 0 {
+		runtime = 0
+	}
+	res := Result{Stats: stats, Runtime: runtime}
+	if runtime > 0 {
+		res.Throughput = float64(stats.Events) / runtime.Seconds()
+	}
+	return res, nil
+}
+
+// serveSite consumes one site's frames until its Done marker.
+func (co *Coordinator) serveSite(c *conn, site uint32) error {
+	row := co.reported[site]
+	var ups []Update
+	for {
+		t, payload, err := c.readFrame()
+		if err != nil {
+			return fmt.Errorf("cluster: site %d stream: %w", site, err)
+		}
+		now := time.Now().UnixNano()
+		co.firstNs.CompareAndSwap(0, now)
+		co.lastNs.Store(now)
+		co.frames.Add(1)
+		switch t {
+		case frameUpdates:
+			ups, err = decodeUpdates(ups, payload)
+			if err != nil {
+				return err
+			}
+			for _, u := range ups {
+				if u.Counter >= co.layout.NumCounters() {
+					return fmt.Errorf("cluster: site %d counter %d out of range", site, u.Counter)
+				}
+				// Reports are monotone local counts; keep the maximum to be
+				// robust to reordering within the stream.
+				if u.LocalCount > row[u.Counter] {
+					row[u.Counter] = u.LocalCount
+				}
+			}
+			co.updates.Add(int64(len(ups)))
+		case frameDone:
+			_, events, err := decodeDone(payload)
+			if err != nil {
+				return err
+			}
+			co.events.Add(events)
+			return nil
+		default:
+			return fmt.Errorf("cluster: site %d unexpected frame %d", site, t)
+		}
+	}
+}
+
+// Estimate returns the coordinator's estimate of a counter's global count:
+// the sum over sites of the last reported local count plus the trailing-gap
+// adjustment (see layout.go). Only valid after Serve returns.
+func (co *Coordinator) Estimate(id uint32) float64 {
+	eps := co.layout.Eps(id)
+	est := 0.0
+	for site := 0; site < co.cfg.Sites; site++ {
+		r := co.reported[site][id]
+		est += float64(r) + adjustment(co.cfg.Sites, eps, r)
+	}
+	return est
+}
+
+// QueryProb answers a joint-probability query from the tracked counters
+// (Algorithm 3 over the cluster state). Only valid after Serve returns.
+func (co *Coordinator) QueryProb(x []int) float64 {
+	p := 1.0
+	for i := 0; i < co.net.Len(); i++ {
+		pidx := co.net.ParentIndex(i, x)
+		den := co.Estimate(co.layout.ParID(i, pidx))
+		if den <= 0 {
+			return 0
+		}
+		p *= co.Estimate(co.layout.PairID(i, x[i], pidx)) / den
+	}
+	return p
+}
+
+// Network returns the shared network structure.
+func (co *Coordinator) Network() *bn.Network { return co.net }

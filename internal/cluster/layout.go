@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"math"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+)
+
+// Layout assigns a dense global id to every distributed counter of a
+// network: for each variable, first its J_i·K_i pair counters (in CPT order,
+// pidx·J_i + value), then its K_i parent counters. Sites and the
+// coordinator compute the same layout independently from the regenerated
+// network, so counter ids never travel in full.
+type Layout struct {
+	net     *bn.Network
+	pairOff []uint32
+	parOff  []uint32
+	total   uint32
+	// eps[id] is the counter's error parameter under the chosen allocation.
+	eps []float64
+}
+
+// NewLayout computes the layout and per-counter error parameters for the
+// given strategy and budget.
+func NewLayout(net *bn.Network, strategy core.Strategy, eps float64) (*Layout, error) {
+	alloc, err := core.Allocate(net, strategy, eps)
+	if err != nil {
+		return nil, err
+	}
+	l := &Layout{
+		net:     net,
+		pairOff: make([]uint32, net.Len()),
+		parOff:  make([]uint32, net.Len()),
+	}
+	off := uint32(0)
+	for i := 0; i < net.Len(); i++ {
+		l.pairOff[i] = off
+		off += uint32(net.Card(i) * net.ParentCard(i))
+		l.parOff[i] = off
+		off += uint32(net.ParentCard(i))
+	}
+	l.total = off
+	l.eps = make([]float64, off)
+	for i := 0; i < net.Len(); i++ {
+		for c := 0; c < net.Card(i)*net.ParentCard(i); c++ {
+			l.eps[l.pairOff[i]+uint32(c)] = alloc.EpsA[i]
+		}
+		for c := 0; c < net.ParentCard(i); c++ {
+			l.eps[l.parOff[i]+uint32(c)] = alloc.EpsB[i]
+		}
+	}
+	return l, nil
+}
+
+// NumCounters returns the total number of counters.
+func (l *Layout) NumCounters() uint32 { return l.total }
+
+// PairID returns the id of A_i(value, pidx).
+func (l *Layout) PairID(i, value, pidx int) uint32 {
+	return l.pairOff[i] + uint32(pidx*l.net.Card(i)+value)
+}
+
+// ParID returns the id of A_i(pidx).
+func (l *Layout) ParID(i, pidx int) uint32 {
+	return l.parOff[i] + uint32(pidx)
+}
+
+// Eps returns the error parameter of a counter.
+func (l *Layout) Eps(id uint32) float64 { return l.eps[id] }
+
+// reportProbLocal is the coordinator-free report probability: a site whose
+// local count is n estimates the global count as k·n (uniform routing) and
+// reports with p = min(1, √k/(ε'·k·n)). Exact counters (ε' = 0, the
+// ExactMLE allocation) always report.
+func reportProbLocal(k int, eps float64, localCount int64) float64 {
+	if eps <= 0 {
+		return 1
+	}
+	global := float64(k) * float64(localCount)
+	if global <= 0 {
+		return 1
+	}
+	p := math.Sqrt(float64(k)) / (eps * global)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// adjustment is the coordinator's trailing-gap correction for a site whose
+// last reported local count is r: the expected number of unreported local
+// increments is (1-p)/p at the report probability in force at count r.
+func adjustment(k int, eps float64, r int64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	p := reportProbLocal(k, eps, r)
+	return (1 - p) / p
+}

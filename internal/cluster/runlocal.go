@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+)
+
+// RunLocal executes a full cluster run on loopback TCP: it starts a
+// coordinator on an ephemeral port, launches cfg.Sites site goroutines (each
+// with its own TCP connection), and returns the run result together with the
+// coordinator (still usable for queries). This is the harness behind the
+// Figure 7/8 experiments and the cluster example; cmd/bncluster runs the
+// same roles as separate processes.
+func RunLocal(cfg Config) (Result, *Coordinator, error) {
+	co, err := NewCoordinator(cfg, "127.0.0.1:0")
+	if err != nil {
+		return Result{}, nil, err
+	}
+	defer co.Close()
+
+	type siteOut struct {
+		stats Stats
+		err   error
+	}
+	outs := make([]siteOut, cfg.Sites)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sites; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := NewSite(uint32(i), co.Addr()).Run()
+			outs[i] = siteOut{stats: st, err: err}
+		}(i)
+	}
+
+	res, serveErr := co.Serve()
+	wg.Wait()
+	if serveErr != nil {
+		return Result{}, nil, serveErr
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, nil, fmt.Errorf("cluster: site %d: %w", i, o.err)
+		}
+		if o.stats != res.Stats {
+			return Result{}, nil, fmt.Errorf("cluster: site %d saw stats %+v, coordinator %+v", i, o.stats, res.Stats)
+		}
+	}
+	return res, co, nil
+}

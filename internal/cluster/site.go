@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/netgen"
+)
+
+// Site is one stream-receiving processor of the monitoring system. It
+// connects to the coordinator, receives its StartConfig, generates its share
+// of the training stream locally, and runs the site half of the counter
+// protocol.
+type Site struct {
+	id   uint32
+	addr string
+}
+
+// NewSite prepares a site with the given id targeting the coordinator's
+// address.
+func NewSite(id uint32, addr string) *Site { return &Site{id: id, addr: addr} }
+
+// Run connects, processes the configured stream, and returns the
+// coordinator's closing Stats.
+func (s *Site) Run() (Stats, error) {
+	raw, err := net.Dial("tcp", s.addr)
+	if err != nil {
+		return Stats{}, fmt.Errorf("cluster: site %d dial: %w", s.id, err)
+	}
+	defer raw.Close()
+	c := newConn(raw)
+
+	if err := c.writeFrame(frameHello, encodeHello(s.id)); err != nil {
+		return Stats{}, err
+	}
+	if err := c.flush(); err != nil {
+		return Stats{}, err
+	}
+	t, payload, err := c.readFrame()
+	if err != nil {
+		return Stats{}, fmt.Errorf("cluster: site %d waiting for start: %w", s.id, err)
+	}
+	if t != frameStart {
+		return Stats{}, fmt.Errorf("cluster: site %d got frame %d, want start", s.id, t)
+	}
+	cfg, err := decodeStart(payload)
+	if err != nil {
+		return Stats{}, err
+	}
+	if err := s.process(c, cfg); err != nil {
+		return Stats{}, err
+	}
+	// Closing stats from the coordinator.
+	for {
+		t, payload, err := c.readFrame()
+		if err != nil {
+			return Stats{}, fmt.Errorf("cluster: site %d waiting for stats: %w", s.id, err)
+		}
+		if t == frameStats {
+			return decodeStats(payload)
+		}
+	}
+}
+
+func (s *Site) process(c *conn, cfg StartConfig) error {
+	netw, err := netgen.ByName(cfg.NetName)
+	if err != nil {
+		return err
+	}
+	opt := netgen.DefaultCPTOptions()
+	opt.Seed = cfg.CPTSeed
+	cpds, err := netgen.GenCPTs(netw, opt)
+	if err != nil {
+		return err
+	}
+	model, err := bn.NewModel(netw, cpds)
+	if err != nil {
+		return err
+	}
+	layout, err := NewLayout(netw, core.Strategy(cfg.Strategy), cfg.Eps)
+	if err != nil {
+		return err
+	}
+
+	k := int(cfg.Sites)
+	counts := make([]int64, layout.NumCounters())
+	rng := bn.NewRNG(cfg.StreamSeed ^ (uint64(s.id) * 0x9e3779b97f4a7c15))
+	sampler := model.NewSampler(cfg.StreamSeed + uint64(s.id))
+	x := make([]int, netw.Len())
+
+	ups := make([]Update, 0, 2*netw.Len())
+	buf := make([]byte, 0, 24*netw.Len())
+	latency := time.Duration(cfg.LatencyMicros) * time.Microsecond
+
+	for e := uint64(0); e < cfg.Events; e++ {
+		sampler.Sample(x)
+		ups = ups[:0]
+		for i := 0; i < netw.Len(); i++ {
+			pidx := netw.ParentIndex(i, x)
+			for _, id := range [2]uint32{layout.PairID(i, x[i], pidx), layout.ParID(i, pidx)} {
+				counts[id]++
+				p := reportProbLocal(k, layout.Eps(id), counts[id])
+				if p >= 1 || rng.Float64() < p {
+					ups = append(ups, Update{Counter: id, LocalCount: counts[id]})
+				}
+			}
+		}
+		if len(ups) == 0 {
+			continue // the paper's optimization: no updates, no message
+		}
+		buf = encodeUpdates(buf, ups)
+		if err := c.writeFrame(frameUpdates, buf); err != nil {
+			return err
+		}
+		if latency > 0 {
+			if err := c.flush(); err != nil {
+				return err
+			}
+			time.Sleep(latency)
+		}
+	}
+	if err := c.writeFrame(frameDone, encodeDone(s.id, int64(cfg.Events))); err != nil {
+		return err
+	}
+	return c.flush()
+}

@@ -1,0 +1,202 @@
+// Package core implements the paper's primary contribution: communication-
+// efficient continuous maintenance of the parameters (CPDs) of a Bayesian
+// network over a stream of training events partitioned across k distributed
+// sites, with an (ε, δ)-approximation guarantee relative to the exact MLE.
+//
+// A Tracker owns, for each variable X_i, the distributed counters
+// A_i(x_i, x_i^par) (one per CPT cell) and A_i(x_i^par) (one per parent
+// configuration), following Algorithms 1 (INIT), 2 (UPDATE) and 3 (QUERY).
+// The Strategy selects how the error budget ε is divided across counters:
+//
+//	EXACTMLE    exact counters, one message per counter update (Lemma 5)
+//	BASELINE    ε' = ε/(3n) for every counter (Section IV-C)
+//	UNIFORM     ε' = ε/(16√n) for every counter (Section IV-D)
+//	NONUNIFORM  ν_i, µ_i from the Lagrange allocation, eqs. (7)-(8) (IV-E)
+//	NAIVEBAYES  the Naïve-Bayes specialization, eq. (9) (Section V)
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/budget"
+)
+
+// Strategy selects the error-budget allocation (and EXACTMLE, which does not
+// approximate at all).
+type Strategy int
+
+const (
+	// ExactMLE maintains every counter exactly (the strawman of Lemma 5).
+	ExactMLE Strategy = iota
+	// Baseline allocates ε/(3n) to every counter (Section IV-C).
+	Baseline
+	// Uniform allocates ε/(16√n) to every counter (Section IV-D).
+	Uniform
+	// NonUniform allocates by the Lagrange solution, eqs. (7)-(8) (IV-E).
+	NonUniform
+	// NaiveBayes is the specialization of NonUniform to Naïve-Bayes models,
+	// eq. (9) of Section V: µ_i = ε/(16√n) uniformly; ν_i by cardinality.
+	NaiveBayes
+)
+
+// Strategies lists all tracker strategies in the order used by the paper's
+// figures.
+var Strategies = []Strategy{ExactMLE, Baseline, Uniform, NonUniform}
+
+// String implements fmt.Stringer using the paper's algorithm names.
+func (s Strategy) String() string {
+	switch s {
+	case ExactMLE:
+		return "exact"
+	case Baseline:
+		return "baseline"
+	case Uniform:
+		return "uniform"
+	case NonUniform:
+		return "nonuniform"
+	case NaiveBayes:
+		return "naivebayes"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ParseStrategy maps a name (as printed by String) back to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	for _, s := range []Strategy{ExactMLE, Baseline, Uniform, NonUniform, NaiveBayes} {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown strategy %q", name)
+}
+
+// CounterKind selects the underlying distributed-counter protocol for the
+// approximate strategies; HYZCounter is the paper's choice, the deterministic
+// counter is kept for ablation experiments.
+type CounterKind int
+
+const (
+	// HYZCounter is the randomized counter of Lemma 4 (default).
+	HYZCounter CounterKind = iota
+	// DeterministicCounter is the classical O(k/ε·log T) threshold counter.
+	DeterministicCounter
+)
+
+// Allocation holds the per-variable counter error parameters chosen by a
+// strategy: EpsA[i] parameterizes the pair counters A_i(x_i, x_i^par) and
+// EpsB[i] the parent counters A_i(x_i^par). For ExactMLE both are zero.
+type Allocation struct {
+	EpsA []float64
+	EpsB []float64
+}
+
+// Allocate computes the error parameters for every variable of net under the
+// given strategy and total error budget eps (the paper's epsfnA / epsfnB of
+// Algorithm 1).
+func Allocate(net *bn.Network, strategy Strategy, eps float64) (Allocation, error) {
+	n := net.Len()
+	a := Allocation{EpsA: make([]float64, n), EpsB: make([]float64, n)}
+	switch strategy {
+	case ExactMLE:
+		return a, nil
+	case Baseline:
+		v := eps / (3 * float64(n))
+		for i := 0; i < n; i++ {
+			a.EpsA[i], a.EpsB[i] = v, v
+		}
+		return a, nil
+	case Uniform:
+		v := eps / (16 * math.Sqrt(float64(n)))
+		for i := 0; i < n; i++ {
+			a.EpsA[i], a.EpsB[i] = v, v
+		}
+		return a, nil
+	case NonUniform:
+		b := eps * eps / 256
+		costsA := make([]float64, n)
+		costsB := make([]float64, n)
+		for i := 0; i < n; i++ {
+			ji, ki := float64(net.Card(i)), float64(net.ParentCard(i))
+			costsA[i] = ji * ki
+			costsB[i] = ki
+		}
+		nu, err := budget.Allocate(costsA, b)
+		if err != nil {
+			return a, err
+		}
+		mu, err := budget.Allocate(costsB, b)
+		if err != nil {
+			return a, err
+		}
+		a.EpsA, a.EpsB = nu, mu
+		return a, nil
+	case NaiveBayes:
+		// Equation (9): µ_i = ε/(16√n) uniformly (all K_i equal the root
+		// cardinality, so the Lagrange allocation for the parent counters is
+		// uniform); ν_i from the general allocation with c_i = J_i·K_i (the
+		// shared factor J_1 cancels in the normalization, recovering the
+		// published closed form).
+		b := eps * eps / 256
+		costsA := make([]float64, n)
+		for i := 0; i < n; i++ {
+			costsA[i] = float64(net.Card(i)) * float64(net.ParentCard(i))
+		}
+		nu, err := budget.Allocate(costsA, b)
+		if err != nil {
+			return a, err
+		}
+		mv := eps / (16 * math.Sqrt(float64(n)))
+		for i := 0; i < n; i++ {
+			a.EpsB[i] = mv
+		}
+		a.EpsA = nu
+		return a, nil
+	default:
+		return a, fmt.Errorf("core: unknown strategy %v", strategy)
+	}
+}
+
+// BudgetSpent returns Σ ν_i² for the pair-counter side of an allocation —
+// the left side of constraint (4); useful for verifying that variance-based
+// strategies respect Σ ν² ≤ ε²/256.
+func (a Allocation) BudgetSpent() float64 {
+	s := 0.0
+	for _, v := range a.EpsA {
+		s += v * v
+	}
+	return s
+}
+
+// IsNaiveBayes reports whether net has Naïve-Bayes structure — a single root
+// that is the sole parent of every other variable — and returns the root.
+func IsNaiveBayes(net *bn.Network) (root int, ok bool) {
+	root = -1
+	for i := 0; i < net.Len(); i++ {
+		switch len(net.Parents(i)) {
+		case 0:
+			if root >= 0 {
+				return -1, false
+			}
+			root = i
+		case 1:
+			// checked against root below
+		default:
+			return -1, false
+		}
+	}
+	if root < 0 {
+		return -1, false
+	}
+	for i := 0; i < net.Len(); i++ {
+		if i == root {
+			continue
+		}
+		if net.Parents(i)[0] != root {
+			return -1, false
+		}
+	}
+	return root, true
+}

@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/counter"
+)
+
+// Config parameterizes a Tracker.
+type Config struct {
+	// Strategy selects the algorithm (EXACTMLE/BASELINE/UNIFORM/NONUNIFORM/
+	// NAIVEBAYES).
+	Strategy Strategy
+	// Eps is the total approximation budget ε of Definition 2, 0 < ε < 1.
+	// Ignored by ExactMLE.
+	Eps float64
+	// Delta is the failure probability δ. As in the paper's evaluation it is
+	// carried to the counters but a single instance is run (the median
+	// amplification of Theorem 1 is analysis only).
+	Delta float64
+	// Sites is k, the number of distributed sites.
+	Sites int
+	// Seed makes the randomized counters reproducible.
+	Seed uint64
+	// Counter selects the distributed-counter protocol (default HYZCounter).
+	Counter CounterKind
+	// Smoothing is a Laplace pseudo-count applied in queries and
+	// classification: each CPD cell behaves as (A+s)/(Apar+s·J_i). Zero (the
+	// default) reproduces the paper's unsmoothed estimator.
+	Smoothing float64
+	// CounterFactory, if non-nil, overrides counter construction for every
+	// strategy (the time-decay extension plugs in here). eps is the
+	// allocated error parameter of the counter; it is 0 for ExactMLE.
+	CounterFactory func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error)
+}
+
+func (c Config) validate() error {
+	if c.Strategy != ExactMLE {
+		if !(c.Eps > 0 && c.Eps < 1) {
+			return fmt.Errorf("core: eps = %v, want 0 < eps < 1", c.Eps)
+		}
+	}
+	if c.Sites < 1 {
+		return fmt.Errorf("core: sites = %d, want >= 1", c.Sites)
+	}
+	if c.Smoothing < 0 {
+		return fmt.Errorf("core: smoothing = %v, want >= 0", c.Smoothing)
+	}
+	if c.Delta < 0 || c.Delta >= 1 {
+		return fmt.Errorf("core: delta = %v, want 0 <= delta < 1", c.Delta)
+	}
+	return nil
+}
+
+// Tracker continuously maintains an approximation of the MLE of a Bayesian
+// network's parameters over a distributed stream (Algorithms 1-3). It is the
+// coordinator-plus-sites simulation; messages are tallied per counter update
+// as in the paper's experiments. Not safe for concurrent use.
+type Tracker struct {
+	net   *bn.Network
+	cfg   Config
+	alloc Allocation
+
+	metrics counter.Metrics
+	rng     *bn.RNG
+
+	// pair[i] holds A_i(x_i, x_i^par), laid out pidx*J_i + x_i to match the
+	// CPT layout of bn.CPT. par[i] holds A_i(x_i^par), indexed by pidx.
+	pair [][]counter.Counter
+	par  [][]counter.Counter
+
+	events int64
+}
+
+// NewTracker builds the counter banks for net per Algorithm 1 (INIT).
+func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	alloc, err := Allocate(net, cfg.Strategy, cfg.Eps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Tracker{
+		net:   net,
+		cfg:   cfg,
+		alloc: alloc,
+		rng:   bn.NewRNG(cfg.Seed),
+		pair:  make([][]counter.Counter, net.Len()),
+		par:   make([][]counter.Counter, net.Len()),
+	}
+	for i := 0; i < net.Len(); i++ {
+		j, k := net.Card(i), net.ParentCard(i)
+		t.pair[i] = make([]counter.Counter, j*k)
+		for c := range t.pair[i] {
+			t.pair[i][c], err = t.newCounter(alloc.EpsA[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+		t.par[i] = make([]counter.Counter, k)
+		for c := range t.par[i] {
+			t.par[i][c], err = t.newCounter(alloc.EpsB[i])
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+func (t *Tracker) newCounter(eps float64) (counter.Counter, error) {
+	if t.cfg.CounterFactory != nil {
+		return t.cfg.CounterFactory(eps, &t.metrics, t.rng)
+	}
+	if t.cfg.Strategy == ExactMLE {
+		return counter.NewExact(&t.metrics), nil
+	}
+	switch t.cfg.Counter {
+	case HYZCounter:
+		return counter.NewHYZ(t.cfg.Sites, eps, t.cfg.Delta, &t.metrics, t.rng)
+	case DeterministicCounter:
+		return counter.NewDeterministic(t.cfg.Sites, eps, &t.metrics)
+	default:
+		return nil, fmt.Errorf("core: unknown counter kind %d", t.cfg.Counter)
+	}
+}
+
+// Network returns the structure the tracker was built for.
+func (t *Tracker) Network() *bn.Network { return t.net }
+
+// Config returns the tracker's configuration.
+func (t *Tracker) Config() Config { return t.cfg }
+
+// Allocation returns the per-variable counter error parameters in use.
+func (t *Tracker) Allocation() Allocation { return t.alloc }
+
+// Events returns the number of training observations processed.
+func (t *Tracker) Events() int64 { return t.events }
+
+// Messages returns the protocol messages exchanged so far.
+func (t *Tracker) Messages() counter.Metrics { return t.metrics }
+
+// Update records one training observation x received at the given site
+// (Algorithm 2): for every variable the pair counter and the parent counter
+// of the observed configuration are incremented.
+func (t *Tracker) Update(site int, x []int) {
+	if site < 0 || site >= t.cfg.Sites {
+		panic(fmt.Sprintf("core: site %d out of range [0,%d)", site, t.cfg.Sites))
+	}
+	for i := 0; i < t.net.Len(); i++ {
+		pidx := t.net.ParentIndex(i, x)
+		t.pair[i][pidx*t.net.Card(i)+x[i]].Inc(site)
+		t.par[i][pidx].Inc(site)
+	}
+	t.events++
+}
+
+// cpdFactor returns the tracked estimate of P[x_i = v | parent config pidx],
+// with the configured smoothing.
+func (t *Tracker) cpdFactor(i, v, pidx int) float64 {
+	ji := float64(t.net.Card(i))
+	num := t.pair[i][pidx*t.net.Card(i)+v].Estimate() + t.cfg.Smoothing
+	den := t.par[i][pidx].Estimate() + t.cfg.Smoothing*ji
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// QueryProb answers a joint-probability query for the full assignment x
+// (Algorithm 3): Π_i A_i(x_i, x_i^par) / A_i(x_i^par). With no smoothing and
+// an unseen parent configuration the result is 0.
+func (t *Tracker) QueryProb(x []int) float64 {
+	p := 1.0
+	for i := 0; i < t.net.Len(); i++ {
+		p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+	}
+	return p
+}
+
+// QuerySubsetProb estimates the marginal probability of x restricted to an
+// ancestrally closed variable set (see bn.Network.AncestralClosure), which
+// factorizes exactly over the member CPDs.
+func (t *Tracker) QuerySubsetProb(set []int, x []int) float64 {
+	p := 1.0
+	for _, i := range set {
+		p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+	}
+	return p
+}
+
+// QueryCPD estimates the single CPD entry P[X_i = v | parent config pidx].
+func (t *Tracker) QueryCPD(i, v, pidx int) float64 { return t.cpdFactor(i, v, pidx) }
+
+// Classify returns argmax_y of the tracked P[X_target = y | x_{-target}]
+// (the approximate Bayesian classification of Definition 4). Only the
+// factors in the target's Markov blanket are scanned. Ties break toward the
+// smaller value. The scratch cell x[target] is restored before returning.
+func (t *Tracker) Classify(target int, x []int) int {
+	saved := x[target]
+	defer func() { x[target] = saved }()
+
+	best, bestScore := 0, math.Inf(-1)
+	for y := 0; y < t.net.Card(target); y++ {
+		x[target] = y
+		score := logOrNegInf(t.cpdFactor(target, y, t.net.ParentIndex(target, x)))
+		for _, c := range t.net.Children(target) {
+			score += logOrNegInf(t.cpdFactor(c, x[c], t.net.ParentIndex(c, x)))
+		}
+		if score > bestScore {
+			best, bestScore = y, score
+		}
+	}
+	return best
+}
+
+func logOrNegInf(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// EstimatedModel snapshots the tracked parameters into a bn.Model. Rows whose
+// parent configuration has no mass become uniform. The snapshot normalizes
+// each row (tracked ratios need not sum to exactly 1 under approximation).
+func (t *Tracker) EstimatedModel() (*bn.Model, error) {
+	cpds := make([]*bn.CPT, t.net.Len())
+	for i := 0; i < t.net.Len(); i++ {
+		j, k := t.net.Card(i), t.net.ParentCard(i)
+		tbl := make([]float64, j*k)
+		for pidx := 0; pidx < k; pidx++ {
+			sum := 0.0
+			for v := 0; v < j; v++ {
+				f := t.cpdFactor(i, v, pidx)
+				if f < 0 {
+					f = 0
+				}
+				tbl[pidx*j+v] = f
+				sum += f
+			}
+			if sum <= 0 {
+				for v := 0; v < j; v++ {
+					tbl[pidx*j+v] = 1 / float64(j)
+				}
+			} else {
+				for v := 0; v < j; v++ {
+					tbl[pidx*j+v] /= sum
+				}
+			}
+		}
+		var err error
+		cpds[i], err = bn.NewCPT(j, k, tbl)
+		if err != nil {
+			return nil, fmt.Errorf("core: snapshot CPD %d: %w", i, err)
+		}
+	}
+	return bn.NewModel(t.net, cpds)
+}
+
+// ExactCount returns the true (not estimated) pair and parent counts for a
+// cell; used by evaluation code to compute the exact-MLE reference from the
+// same tracker run.
+func (t *Tracker) ExactCount(i, v, pidx int) (pairCount, parCount int64) {
+	return t.pair[i][pidx*t.net.Card(i)+v].Exact(), t.par[i][pidx].Exact()
+}
+
+// InferMarginal answers an arbitrary marginal query P[assign] against the
+// tracked model by snapshotting the current parameters (EstimatedModel) and
+// running exact variable-elimination inference. The snapshot is rebuilt per
+// call; cache the EstimatedModel directly when issuing many queries against
+// the same training state.
+func (t *Tracker) InferMarginal(assign map[int]int) (float64, error) {
+	m, err := t.EstimatedModel()
+	if err != nil {
+		return 0, err
+	}
+	return m.MarginalProb(assign)
+}
+
+// ClassifyPartial predicts argmax_y P[X_target = y | evidence] when only a
+// subset of the other variables is observed (the general Bayesian
+// classification setting; Classify handles the fully observed case much
+// faster). It snapshots the tracked parameters and runs exact
+// variable-elimination inference, so it is exponential in the treewidth —
+// intended for moderate networks or small unobserved sets.
+func (t *Tracker) ClassifyPartial(target int, evidence map[int]int) (int, error) {
+	if target < 0 || target >= t.net.Len() {
+		return 0, fmt.Errorf("core: target %d out of range", target)
+	}
+	if _, ok := evidence[target]; ok {
+		return 0, fmt.Errorf("core: target %d appears in evidence", target)
+	}
+	m, err := t.EstimatedModel()
+	if err != nil {
+		return 0, err
+	}
+	best, bestP := 0, -1.0
+	for y := 0; y < t.net.Card(target); y++ {
+		q := map[int]int{target: y}
+		p, err := m.ConditionalProb(q, evidence)
+		if err != nil {
+			return 0, err
+		}
+		if p > bestP {
+			best, bestP = y, p
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,336 @@
+// Package counter implements continuously tracked distributed counters in
+// the continuous distributed monitoring model: k sites receive increments and
+// a coordinator maintains an estimate of the global count at all times.
+//
+// Three trackers are provided:
+//
+//   - Exact: every increment is forwarded to the coordinator (the strawman
+//     behind EXACTMLE, Lemma 5 of the paper).
+//   - HYZ: the randomized counter of Huang, Yi and Zhang (PODS 2012), quoted
+//     as Lemma 4: unbiased, Var ≤ (εC)², O(√k/ε · log T) messages.
+//   - Deterministic: the classical threshold counter with O(k/ε · log T)
+//     messages, kept as an ablation baseline.
+//
+// The package simulates the protocol in-process: site-side and
+// coordinator-side state live in one struct and "messages" are tallied in a
+// shared Metrics sink. The live TCP implementation in internal/cluster uses
+// the same schedule helpers (ReportProb, ExactThreshold) with real messages.
+package counter
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+)
+
+// Metrics tallies protocol messages. One message is one counter update or
+// one synchronization/broadcast unit, matching the accounting used in the
+// paper's experiments (Section VI-A).
+type Metrics struct {
+	// SiteToCoord counts site → coordinator messages (counter updates and
+	// round-synchronization reports).
+	SiteToCoord int64
+	// CoordToSite counts coordinator → site messages (round-parameter
+	// broadcasts).
+	CoordToSite int64
+}
+
+// Total returns all messages in both directions.
+func (m Metrics) Total() int64 { return m.SiteToCoord + m.CoordToSite }
+
+// Add accumulates other into m.
+func (m *Metrics) Add(other Metrics) {
+	m.SiteToCoord += other.SiteToCoord
+	m.CoordToSite += other.CoordToSite
+}
+
+// Counter is a continuously tracked distributed counter.
+type Counter interface {
+	// Inc records one increment observed at the given site.
+	Inc(site int)
+	// Estimate returns the coordinator's current estimate of the count.
+	Estimate() float64
+	// Exact returns the true count (evaluation only; a real coordinator
+	// would not have access to it for approximate trackers).
+	Exact() int64
+}
+
+// Exact is the strawman counter: the coordinator is informed of every
+// increment, costing one message per increment.
+type Exact struct {
+	metrics *Metrics
+	total   int64
+}
+
+// NewExact creates an exact counter that tallies messages into metrics.
+func NewExact(metrics *Metrics) *Exact {
+	return &Exact{metrics: metrics}
+}
+
+// Inc implements Counter.
+func (c *Exact) Inc(site int) {
+	_ = site
+	c.total++
+	c.metrics.SiteToCoord++
+}
+
+// Estimate implements Counter; it is always the exact value.
+func (c *Exact) Estimate() float64 { return float64(c.total) }
+
+// Exact implements Counter.
+func (c *Exact) Exact() int64 { return c.total }
+
+// ExactThreshold returns the count below which the randomized counter runs in
+// exact mode: while C < √k/ε the report probability p = min(1, √k/(εC)) is 1,
+// so every increment is forwarded and the coordinator is exact.
+func ExactThreshold(k int, eps float64) int64 {
+	t := math.Ceil(math.Sqrt(float64(k)) / eps)
+	if t < 1 {
+		return 1
+	}
+	return int64(t)
+}
+
+// ReportProb returns the per-increment report probability used during a round
+// that started with exact global count base: p = min(1, √k/(ε·base)).
+func ReportProb(k int, eps float64, base int64) float64 {
+	if base <= 0 {
+		return 1
+	}
+	p := math.Sqrt(float64(k)) / (eps * float64(base))
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+func validate(k int, eps float64) error {
+	if k < 1 {
+		return fmt.Errorf("counter: need at least one site, got %d", k)
+	}
+	if !(eps > 0) || math.IsInf(eps, 0) || math.IsNaN(eps) {
+		return fmt.Errorf("counter: invalid epsilon %v", eps)
+	}
+	return nil
+}
+
+// HYZ is the randomized distributed counter of Lemma 4.
+//
+// Protocol: while the count is below ExactThreshold the counter is exact.
+// Afterwards, execution is divided into rounds. A round opens with a
+// synchronization — every site reports its in-round delta (k messages) and
+// the coordinator broadcasts the new report probability p (k messages) —
+// after which each site, on each local increment, reports its current
+// in-round delta with probability p. The coordinator estimates each
+// reporting site's delta as lastReport + (1−p)/p (the expectation of the
+// trailing geometric gap), and closes the round when its own in-round
+// estimate reaches the round-opening count (the count has doubled), giving
+// O(log T) rounds.
+//
+// The delta parameter of the paper's DistCounter(ε, δ) interface is accepted
+// for fidelity but not used: as in the paper's experiments a single instance
+// is run, the median-of-O(log 1/δ) amplification being analysis only.
+type HYZ struct {
+	eps     float64
+	k       int
+	metrics *Metrics
+	rng     *bn.RNG
+
+	total int64 // true global count (all modes)
+
+	sampling bool  // false while in exact mode
+	base     int64 // exact count at round start
+	p        float64
+	pThresh  uint64  // report if rng.Uint64() < pThresh
+	adj      float64 // (1-p)/p
+
+	d          []int64 // site state: in-round local increments
+	r          []int64 // coordinator state: last reported in-round delta
+	estSum     int64   // Σ r[i]
+	nReporters int     // number of sites with r[i] > 0
+}
+
+// NewHYZ creates a randomized counter over k sites with error parameter eps,
+// tallying messages into metrics and drawing randomness from rng (which may
+// be shared across counters; the simulation is single-threaded). The delta
+// argument is accepted for interface fidelity with DistCounter(ε, δ) and is
+// unused (see type comment).
+func NewHYZ(k int, eps, delta float64, metrics *Metrics, rng *bn.RNG) (*HYZ, error) {
+	if err := validate(k, eps); err != nil {
+		return nil, err
+	}
+	_ = delta
+	return &HYZ{
+		eps:     eps,
+		k:       k,
+		metrics: metrics,
+		rng:     rng,
+		d:       make([]int64, k),
+		r:       make([]int64, k),
+	}, nil
+}
+
+// Inc implements Counter.
+func (c *HYZ) Inc(site int) {
+	c.total++
+	if !c.sampling {
+		// Exact mode: forward every increment.
+		c.metrics.SiteToCoord++
+		if c.total >= ExactThreshold(c.k, c.eps) {
+			c.openRound()
+		}
+		return
+	}
+	c.d[site]++
+	if c.rng.Uint64() < c.pThresh {
+		c.report(site)
+	}
+}
+
+// report delivers site's current in-round delta to the coordinator and
+// advances the round if the in-round estimate shows the count has doubled.
+func (c *HYZ) report(site int) {
+	c.metrics.SiteToCoord++
+	if c.r[site] == 0 {
+		c.nReporters++
+	}
+	c.estSum += c.d[site] - c.r[site]
+	c.r[site] = c.d[site]
+	if c.inRoundEstimate() >= float64(c.base) {
+		c.openRound()
+	}
+}
+
+// openRound synchronizes all sites (k reports + k broadcasts) and resets the
+// in-round state with a new report probability.
+func (c *HYZ) openRound() {
+	if c.sampling {
+		// Synchronization traffic; the very first transition out of exact
+		// mode needs only the broadcast because the coordinator is already
+		// exact, but we charge the general cost there too for simplicity of
+		// the cluster protocol (it re-polls all sites).
+		c.metrics.SiteToCoord += int64(c.k)
+	} else {
+		c.sampling = true
+		c.metrics.SiteToCoord += int64(c.k)
+	}
+	c.metrics.CoordToSite += int64(c.k)
+
+	c.base = c.total
+	c.p = ReportProb(c.k, c.eps, c.base)
+	if c.p >= 1 {
+		c.pThresh = math.MaxUint64
+		c.adj = 0
+	} else {
+		c.pThresh = uint64(c.p * math.MaxUint64)
+		c.adj = (1 - c.p) / c.p
+	}
+	for i := range c.d {
+		c.d[i] = 0
+		c.r[i] = 0
+	}
+	c.estSum = 0
+	c.nReporters = 0
+}
+
+// inRoundEstimate is the coordinator's estimate of increments since the round
+// opened.
+func (c *HYZ) inRoundEstimate() float64 {
+	return float64(c.estSum) + float64(c.nReporters)*c.adj
+}
+
+// Estimate implements Counter.
+func (c *HYZ) Estimate() float64 {
+	if !c.sampling {
+		return float64(c.total)
+	}
+	return float64(c.base) + c.inRoundEstimate()
+}
+
+// Exact implements Counter.
+func (c *HYZ) Exact() int64 { return c.total }
+
+// Eps returns the error parameter the counter was configured with.
+func (c *HYZ) Eps() float64 { return c.eps }
+
+// Deterministic is the classical deterministic threshold counter, kept as an
+// ablation baseline against HYZ: within a round opened at exact count base,
+// each site reports once every q = max(1, ⌈ε·base/k⌉) local increments, so
+// the coordinator's estimate is within ε·base ≤ ε·C of the truth, at a cost
+// of O(k/ε) messages per round and O(k/ε · log T) messages overall.
+type Deterministic struct {
+	eps     float64
+	k       int
+	metrics *Metrics
+
+	total    int64
+	sampling bool
+	base     int64
+	quantum  int64
+
+	pending  []int64 // site state: unreported increments
+	reported int64   // coordinator state: in-round reported count
+}
+
+// NewDeterministic creates a deterministic counter over k sites with error
+// parameter eps.
+func NewDeterministic(k int, eps float64, metrics *Metrics) (*Deterministic, error) {
+	if err := validate(k, eps); err != nil {
+		return nil, err
+	}
+	return &Deterministic{
+		eps:     eps,
+		k:       k,
+		metrics: metrics,
+		pending: make([]int64, k),
+	}, nil
+}
+
+// Inc implements Counter.
+func (c *Deterministic) Inc(site int) {
+	c.total++
+	if !c.sampling {
+		c.metrics.SiteToCoord++
+		// Exact until a quantum of at least 2 is worthwhile.
+		if q := int64(math.Ceil(c.eps * float64(c.total) / float64(c.k))); q >= 2 {
+			c.openRound()
+		}
+		return
+	}
+	c.pending[site]++
+	if c.pending[site] >= c.quantum {
+		c.metrics.SiteToCoord++
+		c.reported += c.pending[site]
+		c.pending[site] = 0
+		if c.reported >= c.base {
+			c.openRound()
+		}
+	}
+}
+
+func (c *Deterministic) openRound() {
+	c.sampling = true
+	c.metrics.SiteToCoord += int64(c.k)
+	c.metrics.CoordToSite += int64(c.k)
+	c.base = c.total
+	c.quantum = int64(math.Ceil(c.eps * float64(c.base) / float64(c.k)))
+	if c.quantum < 1 {
+		c.quantum = 1
+	}
+	for i := range c.pending {
+		c.pending[i] = 0
+	}
+	c.reported = 0
+}
+
+// Estimate implements Counter.
+func (c *Deterministic) Estimate() float64 {
+	if !c.sampling {
+		return float64(c.total)
+	}
+	return float64(c.base + c.reported)
+}
+
+// Exact implements Counter.
+func (c *Deterministic) Exact() int64 { return c.total }

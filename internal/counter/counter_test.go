@@ -1,0 +1,392 @@
+package counter
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"distbayes/internal/bn"
+)
+
+func TestExactCounter(t *testing.T) {
+	var m Metrics
+	c := NewExact(&m)
+	for i := 0; i < 1000; i++ {
+		c.Inc(i % 7)
+	}
+	if c.Exact() != 1000 {
+		t.Errorf("Exact = %d, want 1000", c.Exact())
+	}
+	if c.Estimate() != 1000 {
+		t.Errorf("Estimate = %v, want 1000", c.Estimate())
+	}
+	if m.SiteToCoord != 1000 || m.CoordToSite != 0 {
+		t.Errorf("metrics = %+v, want 1000 up / 0 down", m)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	var m Metrics
+	rng := bn.NewRNG(1)
+	if _, err := NewHYZ(0, 0.1, 0.1, &m, rng); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewHYZ(4, 0, 0.1, &m, rng); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := NewHYZ(4, math.NaN(), 0.1, &m, rng); err == nil {
+		t.Error("eps=NaN accepted")
+	}
+	if _, err := NewDeterministic(0, 0.1, &m); err == nil {
+		t.Error("deterministic k=0 accepted")
+	}
+	if _, err := NewDeterministic(4, -1, &m); err == nil {
+		t.Error("deterministic eps<0 accepted")
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	if th := ExactThreshold(16, 0.1); th != 40 {
+		t.Errorf("ExactThreshold(16, 0.1) = %d, want 40", th)
+	}
+	if th := ExactThreshold(1, 0.5); th != 2 {
+		t.Errorf("ExactThreshold(1, 0.5) = %d, want 2", th)
+	}
+	if p := ReportProb(16, 0.1, 0); p != 1 {
+		t.Errorf("ReportProb(base=0) = %v, want 1", p)
+	}
+	if p := ReportProb(16, 0.1, 10); p != 1 {
+		t.Errorf("ReportProb below threshold = %v, want 1", p)
+	}
+	want := 4.0 / (0.1 * 4000)
+	if p := ReportProb(16, 0.1, 4000); math.Abs(p-want) > 1e-12 {
+		t.Errorf("ReportProb = %v, want %v", p, want)
+	}
+}
+
+func TestHYZExactWhileSmall(t *testing.T) {
+	var m Metrics
+	rng := bn.NewRNG(2)
+	c, err := NewHYZ(9, 0.5, 0.1, &m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := ExactThreshold(9, 0.5) // 6
+	for i := int64(0); i < th-1; i++ {
+		c.Inc(int(i % 9))
+		if c.Estimate() != float64(c.Exact()) {
+			t.Fatalf("estimate %v != exact %d during exact mode", c.Estimate(), c.Exact())
+		}
+	}
+	if m.CoordToSite != 0 {
+		t.Errorf("broadcasts before threshold: %d", m.CoordToSite)
+	}
+}
+
+func TestHYZEstimateAccuracy(t *testing.T) {
+	// Drive a single counter to 200k increments over 25 sites and check the
+	// relative error along the way stays well within a few epsilon.
+	const k, eps, n = 25, 0.05, 200000
+	var m Metrics
+	rng := bn.NewRNG(3)
+	c, err := NewHYZ(k, eps, 0.1, &m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := 0; i < n; i++ {
+		c.Inc(rng.Intn(k))
+		if i%1000 == 999 {
+			rel := math.Abs(c.Estimate()-float64(c.Exact())) / float64(c.Exact())
+			if rel > worst {
+				worst = rel
+			}
+		}
+	}
+	// Chebyshev at Var=(εC)² gives loose tails; 4ε is a generous bound for
+	// the worst of 200 snapshots.
+	if worst > 4*eps {
+		t.Errorf("worst relative error %v > %v", worst, 4*eps)
+	}
+	if m.SiteToCoord >= n {
+		t.Errorf("sampling counter sent %d messages for %d increments; no saving", m.SiteToCoord, n)
+	}
+}
+
+func TestHYZUnbiasedAndVarianceBound(t *testing.T) {
+	// Many independent replications of the same arrival sequence; the final
+	// estimate should be nearly unbiased with std dev ≤ eps*C.
+	const k, eps = 16, 0.1
+	const C = 20000
+	const reps = 300
+	sum, sumSq := 0.0, 0.0
+	for rep := 0; rep < reps; rep++ {
+		var m Metrics
+		rng := bn.NewRNG(uint64(1000 + rep))
+		c, err := NewHYZ(k, eps, 0.1, &m, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < C; i++ {
+			c.Inc(i % k)
+		}
+		e := c.Estimate()
+		sum += e
+		sumSq += e * e
+	}
+	mean := sum / reps
+	variance := sumSq/reps - mean*mean
+	if math.Abs(mean-C)/C > 0.02 {
+		t.Errorf("mean estimate %v deviates from true count %d by more than 2%%", mean, C)
+	}
+	bound := (eps * C) * (eps * C)
+	if variance > 1.5*bound {
+		t.Errorf("empirical variance %v exceeds 1.5*(εC)² = %v", variance, 1.5*bound)
+	}
+}
+
+func TestHYZMessageGrowthLogarithmic(t *testing.T) {
+	// Messages after 10x more increments should grow far less than 10x once
+	// sampling has kicked in (O(√k/ε · log T) vs O(T)).
+	const k, eps = 16, 0.1
+	run := func(n int) int64 {
+		var m Metrics
+		rng := bn.NewRNG(77)
+		c, _ := NewHYZ(k, eps, 0.1, &m, rng)
+		for i := 0; i < n; i++ {
+			c.Inc(i % k)
+		}
+		return m.Total()
+	}
+	m1 := run(50000)
+	m2 := run(500000)
+	if ratio := float64(m2) / float64(m1); ratio > 3 {
+		t.Errorf("message ratio for 10x stream = %v, want < 3 (logarithmic growth)", ratio)
+	}
+	if m2 >= 500000 {
+		t.Errorf("sampling counter used %d messages for 500000 increments", m2)
+	}
+}
+
+func TestHYZSingleSite(t *testing.T) {
+	var m Metrics
+	rng := bn.NewRNG(5)
+	c, err := NewHYZ(1, 0.1, 0.1, &m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		c.Inc(0)
+	}
+	rel := math.Abs(c.Estimate()-n) / n
+	if rel > 0.3 {
+		t.Errorf("single-site relative error %v", rel)
+	}
+	if m.Total() >= n {
+		t.Errorf("no message saving on single site: %d", m.Total())
+	}
+}
+
+func TestHYZEstimateMonotoneEnough(t *testing.T) {
+	// The estimate must never go negative and must be within a factor of the
+	// truth at every point after the exact phase (coarse sanity property).
+	f := func(seed uint64) bool {
+		var m Metrics
+		rng := bn.NewRNG(seed)
+		c, err := NewHYZ(8, 0.2, 0.1, &m, rng)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 20000; i++ {
+			c.Inc(rng.Intn(8))
+			e := c.Estimate()
+			if e < 0 {
+				return false
+			}
+			if i > 1000 {
+				if e < 0.3*float64(c.Exact()) || e > 3*float64(c.Exact()) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministicCounter(t *testing.T) {
+	const k, eps, n = 10, 0.1, 100000
+	var m Metrics
+	c, err := NewDeterministic(k, eps, &m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := bn.NewRNG(6)
+	for i := 0; i < n; i++ {
+		c.Inc(rng.Intn(k))
+		// Deterministic bound: estimate within eps*C + k*quantum of truth;
+		// conservative check at 3 eps.
+		if diff := math.Abs(c.Estimate() - float64(c.Exact())); diff > 3*eps*float64(c.Exact())+float64(k) {
+			t.Fatalf("estimate off by %v at count %d", diff, c.Exact())
+		}
+	}
+	if m.Total() >= n {
+		t.Errorf("deterministic counter used %d messages for %d increments", m.Total(), n)
+	}
+}
+
+func TestDeterministicVsHYZMessageCost(t *testing.T) {
+	// With enough sites, HYZ (O(√k/ε)) should beat deterministic (O(k/ε))
+	// per round. Use k=64 so √k=8 gives an 8x headroom.
+	const k, eps, n = 64, 0.05, 400000
+	var mh, md Metrics
+	rng := bn.NewRNG(7)
+	h, _ := NewHYZ(k, eps, 0.1, &mh, rng)
+	d, _ := NewDeterministic(k, eps, &md)
+	for i := 0; i < n; i++ {
+		s := i % k
+		h.Inc(s)
+		d.Inc(s)
+	}
+	if mh.Total() >= md.Total() {
+		t.Errorf("HYZ %d messages >= deterministic %d", mh.Total(), md.Total())
+	}
+}
+
+func TestMetricsAdd(t *testing.T) {
+	a := Metrics{SiteToCoord: 3, CoordToSite: 2}
+	b := Metrics{SiteToCoord: 5, CoordToSite: 7}
+	a.Add(b)
+	if a.SiteToCoord != 8 || a.CoordToSite != 9 || a.Total() != 17 {
+		t.Errorf("Add result %+v", a)
+	}
+}
+
+func TestHYZSmallEpsilonStaysExactLonger(t *testing.T) {
+	// With a very small epsilon (as allocated to rare counters by the
+	// tracking algorithms), the counter should remain exact over a short
+	// stream: identical estimate, one message per increment.
+	var m Metrics
+	rng := bn.NewRNG(8)
+	c, err := NewHYZ(30, 0.001, 0.1, &m, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := int64(1000) // far below √30/0.001 ≈ 5477
+	for i := int64(0); i < n; i++ {
+		c.Inc(int(i % 30))
+	}
+	if c.Estimate() != float64(n) {
+		t.Errorf("estimate %v, want exact %d", c.Estimate(), n)
+	}
+	if m.SiteToCoord != n {
+		t.Errorf("messages %d, want %d (exact mode)", m.SiteToCoord, n)
+	}
+}
+
+func TestHYZStateRoundTrip(t *testing.T) {
+	// Drive a counter into its sampling phase, snapshot, restore into a
+	// fresh counter, and verify both continue identically.
+	const k, eps = 8, 0.05
+	var m1 Metrics
+	rng1 := bn.NewRNG(4242)
+	a, err := NewHYZ(k, eps, 0.1, &m1, rng1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30000; i++ {
+		a.Inc(i % k)
+	}
+	data, err := a.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m2 Metrics
+	rng2 := bn.NewRNG(1)
+	b, err := NewHYZ(k, eps, 0.1, &m2, rng2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if b.Estimate() != a.Estimate() || b.Exact() != a.Exact() {
+		t.Fatalf("restored estimate %v/%d, want %v/%d", b.Estimate(), b.Exact(), a.Estimate(), a.Exact())
+	}
+	// Continue both with the same RNG sequence; they must stay identical.
+	rng2.SetState(rng1.State())
+	for i := 0; i < 10000; i++ {
+		a.Inc(i % k)
+		b.Inc(i % k)
+		if a.Estimate() != b.Estimate() {
+			t.Fatalf("estimates diverged at step %d", i)
+		}
+	}
+}
+
+func TestHYZStateRejectsMismatch(t *testing.T) {
+	var m Metrics
+	rng := bn.NewRNG(1)
+	a, _ := NewHYZ(4, 0.1, 0.1, &m, rng)
+	data, _ := a.MarshalBinary()
+	wrongK, _ := NewHYZ(5, 0.1, 0.1, &m, rng)
+	if err := wrongK.UnmarshalBinary(data); err == nil {
+		t.Error("site-count mismatch accepted")
+	}
+	if err := a.UnmarshalBinary(data[:3]); err == nil {
+		t.Error("truncated state accepted")
+	}
+}
+
+func TestExactAndDeterministicStateRoundTrip(t *testing.T) {
+	var m Metrics
+	e := NewExact(&m)
+	for i := 0; i < 1234; i++ {
+		e.Inc(0)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := NewExact(&m)
+	if err := e2.UnmarshalBinary(data); err != nil {
+		t.Fatal(err)
+	}
+	if e2.Exact() != 1234 {
+		t.Errorf("exact restore = %d", e2.Exact())
+	}
+	if err := e2.UnmarshalBinary([]byte{1}); err == nil {
+		t.Error("short exact state accepted")
+	}
+
+	d, _ := NewDeterministic(6, 0.1, &m)
+	for i := 0; i < 50000; i++ {
+		d.Inc(i % 6)
+	}
+	dd, err := d.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, _ := NewDeterministic(6, 0.1, &m)
+	if err := d2.UnmarshalBinary(dd); err != nil {
+		t.Fatal(err)
+	}
+	if d2.Estimate() != d.Estimate() || d2.Exact() != d.Exact() {
+		t.Errorf("deterministic restore mismatch")
+	}
+	// Continue both identically (deterministic protocol, no RNG).
+	for i := 0; i < 10000; i++ {
+		d.Inc(i % 6)
+		d2.Inc(i % 6)
+		if d.Estimate() != d2.Estimate() {
+			t.Fatalf("deterministic diverged at %d", i)
+		}
+	}
+	wrongK, _ := NewDeterministic(3, 0.1, &m)
+	if err := wrongK.UnmarshalBinary(dd); err == nil {
+		t.Error("deterministic site mismatch accepted")
+	}
+}

@@ -1,0 +1,166 @@
+package counter
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// This file implements binary state snapshots for the counters, used by
+// core.Tracker.SaveState/LoadState to checkpoint and restore a coordinator
+// without replaying the stream. Only dynamic state is serialized; the
+// configuration (k, ε, metrics sink, RNG) stays with the receiving object,
+// which must have been constructed identically.
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *Exact) MarshalBinary() ([]byte, error) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(c.total))
+	return b[:], nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Exact) UnmarshalBinary(data []byte) error {
+	if len(data) != 8 {
+		return fmt.Errorf("counter: exact state length %d, want 8", len(data))
+	}
+	c.total = int64(binary.LittleEndian.Uint64(data))
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *HYZ) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 8*(5+2*len(c.d))+1)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	if c.sampling {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	put(uint64(c.total))
+	put(uint64(c.base))
+	put(uint64(c.estSum))
+	put(uint64(c.nReporters))
+	put(uint64(len(c.d)))
+	for i := range c.d {
+		put(uint64(c.d[i]))
+		put(uint64(c.r[i]))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver must
+// have been constructed with the same number of sites as the snapshot.
+func (c *HYZ) UnmarshalBinary(data []byte) error {
+	if len(data) < 1+5*8 {
+		return fmt.Errorf("counter: hyz state too short (%d bytes)", len(data))
+	}
+	sampling := data[0] == 1
+	data = data[1:]
+	get := func() uint64 {
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v
+	}
+	total := int64(get())
+	base := int64(get())
+	estSum := int64(get())
+	nReporters := int(get())
+	k := int(get())
+	if k != len(c.d) {
+		return fmt.Errorf("counter: hyz state has %d sites, counter has %d", k, len(c.d))
+	}
+	if len(data) != 16*k {
+		return fmt.Errorf("counter: hyz state site section %d bytes, want %d", len(data), 16*k)
+	}
+	c.sampling = sampling
+	c.total = total
+	c.base = base
+	c.estSum = estSum
+	c.nReporters = nReporters
+	for i := 0; i < k; i++ {
+		c.d[i] = int64(get())
+		c.r[i] = int64(get())
+	}
+	// Recompute the derived round parameters from base.
+	if c.sampling {
+		c.p = ReportProb(c.k, c.eps, c.base)
+		if c.p >= 1 {
+			c.pThresh = ^uint64(0)
+			c.adj = 0
+		} else {
+			c.pThresh = uint64(c.p * float64(^uint64(0)))
+			c.adj = (1 - c.p) / c.p
+		}
+	}
+	return nil
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c *Deterministic) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, 8*(4+len(c.pending))+1)
+	var tmp [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	if c.sampling {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	put(uint64(c.total))
+	put(uint64(c.base))
+	put(uint64(c.reported))
+	put(uint64(len(c.pending)))
+	for _, p := range c.pending {
+		put(uint64(p))
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.
+func (c *Deterministic) UnmarshalBinary(data []byte) error {
+	if len(data) < 1+4*8 {
+		return fmt.Errorf("counter: deterministic state too short (%d bytes)", len(data))
+	}
+	sampling := data[0] == 1
+	data = data[1:]
+	get := func() uint64 {
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v
+	}
+	total := int64(get())
+	base := int64(get())
+	reported := int64(get())
+	k := int(get())
+	if k != len(c.pending) {
+		return fmt.Errorf("counter: deterministic state has %d sites, counter has %d", k, len(c.pending))
+	}
+	if len(data) != 8*k {
+		return fmt.Errorf("counter: deterministic site section %d bytes, want %d", len(data), 8*k)
+	}
+	c.sampling = sampling
+	c.total = total
+	c.base = base
+	c.reported = reported
+	for i := 0; i < k; i++ {
+		c.pending[i] = int64(get())
+	}
+	c.quantum = 0
+	if c.sampling {
+		q := c.eps * float64(c.base) / float64(c.k)
+		c.quantum = int64(q)
+		if float64(c.quantum) < q {
+			c.quantum++
+		}
+		if c.quantum < 1 {
+			c.quantum = 1
+		}
+	}
+	return nil
+}

@@ -1,0 +1,131 @@
+package decay
+
+import (
+	"fmt"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/counter"
+)
+
+// WindowBank implements the second standard time-decay model (alongside the
+// exponential decay of Bank): a sliding window over the last W events,
+// approximated by B sub-blocks of W/B events each. A window counter sums the
+// live block and the most recent B-1 closed blocks, so the effective window
+// slides with a granularity of one block — the classic block-based
+// approximation of sliding-window streaming (error ≤ one block's worth of
+// events at the trailing edge).
+type WindowBank struct {
+	blockEvents int64
+	blocks      int
+	sites       int
+	counters    []*WindowCounter
+	ticks       int64
+}
+
+// NewWindowBank creates a bank whose counters cover approximately
+// windowEvents of history using the given number of blocks (≥ 2).
+func NewWindowBank(windowEvents int64, blocks, sites int) (*WindowBank, error) {
+	if blocks < 2 {
+		return nil, fmt.Errorf("decay: window blocks = %d, want >= 2", blocks)
+	}
+	if windowEvents < int64(blocks) {
+		return nil, fmt.Errorf("decay: window of %d events too small for %d blocks", windowEvents, blocks)
+	}
+	if sites < 1 {
+		return nil, fmt.Errorf("decay: sites = %d, want >= 1", sites)
+	}
+	return &WindowBank{
+		blockEvents: windowEvents / int64(blocks),
+		blocks:      blocks,
+		sites:       sites,
+	}, nil
+}
+
+// Factory returns a core.Config.CounterFactory producing window counters
+// registered with this bank.
+func (b *WindowBank) Factory() func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error) {
+	return func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error) {
+		c := &WindowCounter{bank: b, eps: eps, metrics: metrics, rng: rng}
+		if err := c.rotate(); err != nil {
+			return nil, err
+		}
+		b.counters = append(b.counters, c)
+		return c, nil
+	}
+}
+
+// Tick advances the global event clock; a block boundary rotates every
+// counter.
+func (b *WindowBank) Tick() error {
+	b.ticks++
+	if b.ticks%b.blockEvents != 0 {
+		return nil
+	}
+	for _, c := range b.counters {
+		if err := c.rotate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Ticks returns the number of events seen.
+func (b *WindowBank) Ticks() int64 { return b.ticks }
+
+// WindowCounter is one sliding-window distributed counter; it implements
+// counter.Counter.
+type WindowCounter struct {
+	bank    *WindowBank
+	eps     float64
+	metrics *counter.Metrics
+	rng     *bn.RNG
+
+	live   counter.Counter
+	closed []closedBlock // most recent first, at most blocks-1 entries
+}
+
+type closedBlock struct {
+	est float64
+	tru int64
+}
+
+func (c *WindowCounter) rotate() error {
+	if c.live != nil {
+		c.closed = append([]closedBlock{{est: c.live.Estimate(), tru: c.live.Exact()}}, c.closed...)
+		if len(c.closed) > c.bank.blocks-1 {
+			c.closed = c.closed[:c.bank.blocks-1]
+		}
+	}
+	if c.eps <= 0 {
+		c.live = counter.NewExact(c.metrics)
+		return nil
+	}
+	h, err := counter.NewHYZ(c.bank.sites, c.eps, 0.25, c.metrics, c.rng)
+	if err != nil {
+		return err
+	}
+	c.live = h
+	return nil
+}
+
+// Inc implements counter.Counter.
+func (c *WindowCounter) Inc(site int) { c.live.Inc(site) }
+
+// Estimate implements counter.Counter: the sum of the live block and the
+// retained closed blocks.
+func (c *WindowCounter) Estimate() float64 {
+	e := c.live.Estimate()
+	for _, b := range c.closed {
+		e += b.est
+	}
+	return e
+}
+
+// Exact implements counter.Counter: the true in-window count.
+func (c *WindowCounter) Exact() int64 {
+	t := c.live.Exact()
+	for _, b := range c.closed {
+		t += b.tru
+	}
+	return t
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart renders one or more numeric series from a Table as an ASCII plot —
+// the terminal rendition of a paper figure. xCol selects the x column and
+// yCols the series; rows whose cells do not parse as numbers are skipped.
+// logY applies a log10 transform (the scale the paper uses for its
+// communication plots). keyCols, when non-empty, splits rows into one series
+// per distinct key (e.g. per network).
+type Chart struct {
+	Width, Height int
+	LogY          bool
+}
+
+// DefaultChart is sized for an 80-column terminal.
+func DefaultChart(logY bool) Chart { return Chart{Width: 64, Height: 16, LogY: logY} }
+
+// Render plots the table's series to w.
+func (c Chart) Render(w io.Writer, tab *Table, xCol int, yCols []int) error {
+	if xCol < 0 || xCol >= len(tab.Header) {
+		return fmt.Errorf("experiments: x column %d out of range", xCol)
+	}
+	type point struct{ x, y float64 }
+	series := map[string][]point{}
+	var order []string
+	for _, col := range yCols {
+		if col < 0 || col >= len(tab.Header) {
+			return fmt.Errorf("experiments: y column %d out of range", col)
+		}
+		name := tab.Header[col]
+		order = append(order, name)
+		for _, row := range tab.Rows {
+			x, errX := strconv.ParseFloat(row[xCol], 64)
+			y, errY := strconv.ParseFloat(row[col], 64)
+			if errX != nil || errY != nil {
+				continue
+			}
+			if c.LogY {
+				if y <= 0 {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			series[name] = append(series[name], point{x, y})
+		}
+		if len(series[name]) == 0 {
+			return fmt.Errorf("experiments: column %q has no numeric data", name)
+		}
+	}
+
+	width, height := c.Width, c.Height
+	if width < 8 {
+		width = 8
+	}
+	if height < 4 {
+		height = 4
+	}
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, pts := range series {
+		for _, p := range pts {
+			minX, maxX = math.Min(minX, p.x), math.Max(maxX, p.x)
+			minY, maxY = math.Min(minY, p.y), math.Max(maxY, p.y)
+		}
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	marks := "ox+*#@%&"
+	for si, name := range order {
+		mark := marks[si%len(marks)]
+		for _, p := range series[name] {
+			col := int(math.Round((p.x - minX) / (maxX - minX) * float64(width-1)))
+			row := height - 1 - int(math.Round((p.y-minY)/(maxY-minY)*float64(height-1)))
+			grid[row][col] = mark
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s\n", tab.Title); err != nil {
+		return err
+	}
+	yLabel := func(v float64) string {
+		if c.LogY {
+			return fmt.Sprintf("1e%.1f", v)
+		}
+		return fmt.Sprintf("%.3g", v)
+	}
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = pad(yLabel(maxY), 8)
+		}
+		if r == height-1 {
+			label = pad(yLabel(minY), 8)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 8), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s%s%s\n", strings.Repeat(" ", 9), pad(fmt.Sprintf("%.3g", minX), width-8),
+		fmt.Sprintf("%.3g", maxX)); err != nil {
+		return err
+	}
+	legend := make([]string, len(order))
+	for si, name := range order {
+		legend[si] = fmt.Sprintf("%c=%s", marks[si%len(marks)], name)
+	}
+	_, err := fmt.Fprintf(w, "%s%s\n\n", strings.Repeat(" ", 9), strings.Join(legend, "  "))
+	return err
+}
+
+// NumericColumns returns the indices of columns whose every row parses as a
+// number — the default y series for charting.
+func NumericColumns(tab *Table) []int {
+	var out []int
+	for col := range tab.Header {
+		ok := len(tab.Rows) > 0
+		for _, row := range tab.Rows {
+			if col >= len(row) {
+				ok = false
+				break
+			}
+			if _, err := strconv.ParseFloat(row[col], 64); err != nil {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, col)
+		}
+	}
+	return out
+}

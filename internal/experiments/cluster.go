@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distbayes/internal/cluster"
+	"distbayes/internal/core"
+)
+
+func init() {
+	registry["fig7"] = runFig7
+	registry["fig8"] = runFig8
+}
+
+// clusterSweep runs the live TCP cluster for every algorithm and site count
+// and returns one row per (network, k, algorithm) with runtime and
+// throughput. Figs. 7 and 8 are two views of the same sweep; each runner
+// performs its own sweep so they can be invoked independently.
+func clusterSweep(p Params, networks []string) (map[string]map[int]map[core.Strategy]cluster.Result, error) {
+	out := map[string]map[int]map[core.Strategy]cluster.Result{}
+	algs := []core.Strategy{core.ExactMLE, core.Baseline, core.Uniform, core.NonUniform}
+	for _, name := range networks {
+		out[name] = map[int]map[core.Strategy]cluster.Result{}
+		for _, k := range p.SiteList {
+			out[name][k] = map[core.Strategy]cluster.Result{}
+			for _, st := range algs {
+				cfg := cluster.Config{
+					NetName:    name,
+					CPTSeed:    p.Seed + 0xC0DE,
+					Strategy:   st,
+					Eps:        p.Eps,
+					Delta:      p.Delta,
+					Sites:      k,
+					Events:     p.Events,
+					StreamSeed: p.Seed + 7,
+				}
+				res, co, err := cluster.RunLocal(cfg)
+				if err != nil {
+					return nil, fmt.Errorf("cluster sweep %s k=%d %v: %w", name, k, st, err)
+				}
+				_ = co
+				out[name][k][st] = res
+			}
+		}
+	}
+	return out, nil
+}
+
+// clusterNetworks are the Fig. 7/8 networks (the paper uses the two smaller
+// networks on the EC2 cluster).
+var clusterNetworks = []string{"alarm", "hepar2"}
+
+// runFig7 reproduces Fig. 7: training runtime on the (loopback TCP) cluster
+// vs the number of sites.
+func runFig7(p Params) ([]*Table, error) {
+	sweep, err := clusterSweep(p, clusterNetworks)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig7", Title: "Fig. 7: training runtime (live TCP cluster) vs number of sites",
+		Header: []string{"network", "sites", "m", "exact-sec", "baseline-sec", "uniform-sec", "nonuniform-sec"},
+		Notes: []string{
+			"paper: EC2 t2.micro cluster, 500K instances; here: loopback TCP (see DESIGN.md §4), absolute times differ, trends hold",
+		},
+	}
+	for _, name := range clusterNetworks {
+		for _, k := range p.SiteList {
+			r := sweep[name][k]
+			t.Rows = append(t.Rows, []string{
+				name, fmtInt(int64(k)), fmtInt(int64(p.Events)),
+				fmtF(r[core.ExactMLE].Runtime.Seconds()),
+				fmtF(r[core.Baseline].Runtime.Seconds()),
+				fmtF(r[core.Uniform].Runtime.Seconds()),
+				fmtF(r[core.NonUniform].Runtime.Seconds()),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig8 reproduces Fig. 8: cluster throughput (events/second) vs number of
+// sites.
+func runFig8(p Params) ([]*Table, error) {
+	sweep, err := clusterSweep(p, clusterNetworks)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig8", Title: "Fig. 8: throughput (live TCP cluster, events/sec) vs number of sites",
+		Header: []string{"network", "sites", "m", "exact", "baseline", "uniform", "nonuniform"},
+	}
+	for _, name := range clusterNetworks {
+		for _, k := range p.SiteList {
+			r := sweep[name][k]
+			t.Rows = append(t.Rows, []string{
+				name, fmtInt(int64(k)), fmtInt(int64(p.Events)),
+				fmtF(r[core.ExactMLE].Throughput),
+				fmtF(r[core.Baseline].Throughput),
+				fmtF(r[core.Uniform].Throughput),
+				fmtF(r[core.NonUniform].Throughput),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}

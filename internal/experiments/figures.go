@@ -1,0 +1,564 @@
+package experiments
+
+import (
+	"fmt"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/netgen"
+	"distbayes/internal/stats"
+	"distbayes/internal/stream"
+)
+
+// netgenLoad resolves a network name to a ground-truth model; indirected so
+// tests can substitute tiny models.
+var netgenLoad = netgen.ModelByName
+
+func init() {
+	registry["table1"] = runTable1
+	registry["fig1"] = figBoxTruth("fig1", "hepar2", "Fig. 1: testing error (relative to ground truth) vs training instances, HEPAR II")
+	registry["fig2"] = figBoxTruth("fig2", "link", "Fig. 2: testing error (relative to ground truth) vs training instances, LINK")
+	registry["fig3"] = runFig3
+	registry["fig4"] = runFig4
+	registry["fig5"] = runFig5
+	registry["fig6"] = runFig6
+	registry["fig9"] = runFig9
+	registry["fig10"] = runFig10
+	registry["fig11"] = runFig11
+	registry["table2"] = runClassification
+	registry["table3"] = runClassification
+	registry["newalarm"] = runNewAlarm
+	registry["ablation-counter"] = runAblationCounter
+	registry["ablation-skew"] = runAblationSkew
+	registry["ablation-nb"] = runAblationNB
+}
+
+var paperStrategies = []core.Strategy{core.Baseline, core.Uniform, core.NonUniform}
+
+// runTable1 reproduces Table I: the network inventory.
+func runTable1(p Params) ([]*Table, error) {
+	t := &Table{
+		ID:     "table1",
+		Title:  "Table I: Bayesian networks used in the experiments (synthetic structural twins)",
+		Header: []string{"network", "nodes", "edges", "params", "max-indegree", "max-card", "cpt-cells"},
+		Notes: []string{
+			"node/edge/parameter counts match the published Table I exactly; structures are synthetic twins (see DESIGN.md §4)",
+		},
+	}
+	for _, name := range p.Networks {
+		net, err := netgen.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			name,
+			fmtInt(int64(net.Len())),
+			fmtInt(int64(net.NumEdges())),
+			fmtInt(int64(net.NumParams())),
+			fmtInt(int64(net.MaxInDegree())),
+			fmtInt(int64(net.MaxCard())),
+			fmtInt(int64(net.NumCells())),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// figBoxTruth builds the runner for the per-algorithm error-to-truth boxplot
+// figures (Figs. 1 and 2).
+func figBoxTruth(id, network, title string) Runner {
+	return func(p Params) ([]*Table, error) {
+		m, err := netgenLoad(network)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: paperStrategies, checkpoints: p.Sizes,
+			eps: p.Eps, delta: p.Delta, sites: p.Sites, queries: p.Queries,
+			minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t := &Table{
+			ID: id, Title: title,
+			Header: []string{"algorithm", "m", "min", "q1", "median", "q3", "max", "mean"},
+		}
+		for _, st := range res.strategiesOrdered() {
+			for ci, m := range res.checkpoints {
+				s := stats.Summarize(res.errTruth[st][ci])
+				t.Rows = append(t.Rows, []string{
+					st.String(), fmtInt(int64(m)),
+					fmtF(s.Min), fmtF(s.Q1), fmtF(s.Median), fmtF(s.Q3), fmtF(s.Max), fmtF(s.Mean),
+				})
+			}
+		}
+		return []*Table{t}, nil
+	}
+}
+
+func (r *trackingResult) strategiesOrdered() []core.Strategy {
+	order := []core.Strategy{core.ExactMLE, core.Baseline, core.Uniform, core.NonUniform, core.NaiveBayes}
+	var out []core.Strategy
+	for _, st := range order {
+		if _, ok := r.errTruth[st]; ok {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// runFig3 reproduces Fig. 3: mean testing error (relative to ground truth)
+// vs training instances for every network and algorithm.
+func runFig3(p Params) ([]*Table, error) {
+	t := &Table{
+		ID: "fig3", Title: "Fig. 3: mean testing error (relative to ground truth) vs training instances",
+		Header: []string{"network", "m", "exact", "baseline", "uniform", "nonuniform"},
+	}
+	models, err := loadModels(p.Networks)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.Networks {
+		res, err := runTracking(trackingSpec{
+			model: models[name], strategies: paperStrategies, checkpoints: p.Sizes,
+			eps: p.Eps, delta: p.Delta, sites: p.Sites, queries: p.Queries,
+			minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ci, m := range res.checkpoints {
+			t.Rows = append(t.Rows, []string{
+				name, fmtInt(int64(m)),
+				fmtF(stats.Mean(res.errTruth[core.ExactMLE][ci])),
+				fmtF(stats.Mean(res.errTruth[core.Baseline][ci])),
+				fmtF(stats.Mean(res.errTruth[core.Uniform][ci])),
+				fmtF(stats.Mean(res.errTruth[core.NonUniform][ci])),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig4 reproduces Fig. 4: error relative to EXACTMLE (boxplots) for
+// UNIFORM and NONUNIFORM on every network.
+func runFig4(p Params) ([]*Table, error) {
+	t := &Table{
+		ID: "fig4", Title: "Fig. 4: testing error (relative to EXACTMLE) vs training instances",
+		Header: []string{"network", "algorithm", "m", "min", "q1", "median", "q3", "max", "mean"},
+	}
+	models, err := loadModels(p.Networks)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.Networks {
+		res, err := runTracking(trackingSpec{
+			model: models[name], strategies: []core.Strategy{core.Uniform, core.NonUniform},
+			checkpoints: p.Sizes, eps: p.Eps, delta: p.Delta, sites: p.Sites,
+			queries: p.Queries, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, st := range []core.Strategy{core.Uniform, core.NonUniform} {
+			for ci, m := range res.checkpoints {
+				s := stats.Summarize(res.errMLE[st][ci])
+				t.Rows = append(t.Rows, []string{
+					name, st.String(), fmtInt(int64(m)),
+					fmtF(s.Min), fmtF(s.Q1), fmtF(s.Median), fmtF(s.Q3), fmtF(s.Max), fmtF(s.Mean),
+				})
+			}
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig5 reproduces Fig. 5: mean testing error relative to EXACTMLE for the
+// three approximate algorithms.
+func runFig5(p Params) ([]*Table, error) {
+	t := &Table{
+		ID: "fig5", Title: "Fig. 5: mean testing error (relative to EXACTMLE) vs training instances",
+		Header: []string{"network", "m", "baseline", "uniform", "nonuniform"},
+	}
+	models, err := loadModels(p.Networks)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.Networks {
+		res, err := runTracking(trackingSpec{
+			model: models[name], strategies: paperStrategies, checkpoints: p.Sizes,
+			eps: p.Eps, delta: p.Delta, sites: p.Sites, queries: p.Queries,
+			minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ci, m := range res.checkpoints {
+			t.Rows = append(t.Rows, []string{
+				name, fmtInt(int64(m)),
+				fmtF(stats.Mean(res.errMLE[core.Baseline][ci])),
+				fmtF(stats.Mean(res.errMLE[core.Uniform][ci])),
+				fmtF(stats.Mean(res.errMLE[core.NonUniform][ci])),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig6 reproduces Fig. 6: communication cost (number of messages) vs
+// number of training instances.
+func runFig6(p Params) ([]*Table, error) {
+	t := &Table{
+		ID: "fig6", Title: "Fig. 6: communication cost vs number of training instances",
+		Header: []string{"network", "m", "exact", "baseline", "uniform", "nonuniform"},
+	}
+	models, err := loadModels(p.Networks)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range p.Networks {
+		res, err := runTracking(trackingSpec{
+			model: models[name], strategies: paperStrategies, checkpoints: p.Sizes,
+			eps: p.Eps, delta: p.Delta, sites: p.Sites,
+			queries: 1, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ci, m := range res.checkpoints {
+			t.Rows = append(t.Rows, []string{
+				name, fmtInt(int64(m)),
+				fmtF(res.messages[core.ExactMLE][ci]),
+				fmtF(res.messages[core.Baseline][ci]),
+				fmtF(res.messages[core.Uniform][ci]),
+				fmtF(res.messages[core.NonUniform][ci]),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// runFig9 reproduces Fig. 9: communication cost as the network scales,
+// obtained by iteratively stripping sinks from LINK.
+func runFig9(p Params) ([]*Table, error) {
+	link, err := netgen.ByName("link")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig9", Title: "Fig. 9: communication cost vs network size (LINK with sinks removed)",
+		Header: []string{"nodes", "edges", "m", "exact", "baseline", "uniform", "nonuniform"},
+		Notes:  []string{"paper uses 500K training instances; column m records the stream length used here"},
+	}
+	for _, target := range p.NodeTargets {
+		sub, err := netgen.StripSinks(link, target)
+		if err != nil {
+			return nil, err
+		}
+		cpds, err := netgen.GenCPTs(sub, netgen.DefaultCPTOptions())
+		if err != nil {
+			return nil, err
+		}
+		m, err := bn.NewModel(sub, cpds)
+		if err != nil {
+			return nil, err
+		}
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: paperStrategies, checkpoints: []int{p.Events},
+			eps: p.Eps, delta: p.Delta, sites: p.Sites,
+			queries: 1, minProb: p.MinProb, runs: 1, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtInt(int64(sub.Len())), fmtInt(int64(sub.NumEdges())), fmtInt(int64(p.Events)),
+			fmtF(res.messages[core.ExactMLE][0]),
+			fmtF(res.messages[core.Baseline][0]),
+			fmtF(res.messages[core.Uniform][0]),
+			fmtF(res.messages[core.NonUniform][0]),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// runFig10 reproduces Fig. 10: mean error against ground truth as a function
+// of the approximation factor ε (BASELINE and NONUNIFORM, HEPAR II).
+func runFig10(p Params) ([]*Table, error) {
+	m, err := netgenLoad(p.Network)
+	if err != nil {
+		return nil, err
+	}
+	tb := &Table{
+		ID: "fig10", Title: fmt.Sprintf("Fig. 10: %s mean error against ground truth vs approximation factor ε", p.Network),
+		Header: []string{"m", "eps", "baseline", "nonuniform"},
+	}
+	for _, eps := range p.EpsList {
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: []core.Strategy{core.Baseline, core.NonUniform},
+			checkpoints: p.Sizes, eps: eps, delta: p.Delta, sites: p.Sites,
+			queries: p.Queries, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for ci, sz := range res.checkpoints {
+			tb.Rows = append(tb.Rows, []string{
+				fmtInt(int64(sz)), fmtF(eps),
+				fmtF(stats.Mean(res.errTruth[core.Baseline][ci])),
+				fmtF(stats.Mean(res.errTruth[core.NonUniform][ci])),
+			})
+		}
+	}
+	return []*Table{tb}, nil
+}
+
+// fig11Sites is the site sweep for Fig. 11 (the paper shows sub-linear
+// message growth in k on ALARM).
+var fig11Sites = []int{5, 10, 20, 30, 40, 50}
+
+// runFig11 reproduces Fig. 11: communication cost vs number of sites.
+func runFig11(p Params) ([]*Table, error) {
+	m, err := netgenLoad("alarm")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "fig11", Title: "Fig. 11: communication cost vs number of sites (ALARM)",
+		Header: []string{"sites", "m", "baseline", "uniform", "nonuniform"},
+	}
+	for _, k := range fig11Sites {
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: paperStrategies, checkpoints: []int{p.Events},
+			eps: p.Eps, delta: p.Delta, sites: k,
+			queries: 1, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtInt(int64(k)), fmtInt(int64(p.Events)),
+			fmtF(res.messages[core.Baseline][0]),
+			fmtF(res.messages[core.Uniform][0]),
+			fmtF(res.messages[core.NonUniform][0]),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// runClassification reproduces Tables II and III: Bayesian-classification
+// error rate and the communication cost of learning the classifier.
+func runClassification(p Params) ([]*Table, error) {
+	errT := &Table{
+		ID: "table2", Title: fmt.Sprintf("Table II: error rate for Bayesian classification, %d training instances", p.Events),
+		Header: []string{"network", "exact", "baseline", "uniform", "nonuniform"},
+	}
+	msgT := &Table{
+		ID: "table3", Title: "Table III: communication cost (messages) to learn a Bayesian classifier",
+		Header: []string{"network", "exact", "baseline", "uniform", "nonuniform"},
+	}
+	models, err := loadModels(p.Networks)
+	if err != nil {
+		return nil, err
+	}
+	all := []core.Strategy{core.ExactMLE, core.Baseline, core.Uniform, core.NonUniform}
+	for _, name := range p.Networks {
+		model := models[name]
+		net := model.Network()
+		tests, err := stream.GenClassTests(model, p.ClassTests, p.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		errRow := []string{name}
+		msgRow := []string{name}
+		for _, st := range all {
+			tr, err := core.NewTracker(net, core.Config{
+				Strategy: st, Eps: p.Eps, Delta: p.Delta, Sites: p.Sites,
+				Seed: p.Seed + uint64(st), Smoothing: p.Smoothing,
+			})
+			if err != nil {
+				return nil, err
+			}
+			training := stream.NewTraining(model, stream.NewUniformAssigner(p.Sites, p.Seed+9), p.Seed+13)
+			for e := 0; e < p.Events; e++ {
+				site, x := training.Next()
+				tr.Update(site, x)
+			}
+			wrong := 0
+			for _, tc := range tests {
+				if tr.Classify(tc.Target, tc.X) != tc.Want {
+					wrong++
+				}
+			}
+			errRow = append(errRow, fmtF(float64(wrong)/float64(len(tests))))
+			msgRow = append(msgRow, fmtF(float64(tr.Messages().Total())))
+		}
+		errT.Rows = append(errT.Rows, errRow)
+		msgT.Rows = append(msgT.Rows, msgRow)
+	}
+	return []*Table{errT, msgT}, nil
+}
+
+// runNewAlarm reproduces the NEW-ALARM study: with 6 domains inflated to 20
+// values, NONUNIFORM's communication drops well below UNIFORM's (the paper
+// reports ~35%).
+func runNewAlarm(p Params) ([]*Table, error) {
+	net, err := netgen.NewAlarm()
+	if err != nil {
+		return nil, err
+	}
+	cpds, err := netgen.GenCPTs(net, netgen.DefaultCPTOptions())
+	if err != nil {
+		return nil, err
+	}
+	m, err := bn.NewModel(net, cpds)
+	if err != nil {
+		return nil, err
+	}
+	res, err := runTracking(trackingSpec{
+		model: m, strategies: []core.Strategy{core.Uniform, core.NonUniform},
+		checkpoints: []int{p.Events}, eps: p.Eps, delta: p.Delta, sites: p.Sites,
+		queries: p.Queries, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	u := res.messages[core.Uniform][0]
+	nu := res.messages[core.NonUniform][0]
+	// Theoretical bounds (Theorems 1 and 2): structure-dependent factors.
+	bu, err := core.CostBound(net, core.Uniform, p.Eps)
+	if err != nil {
+		return nil, err
+	}
+	bn2, err := core.CostBound(net, core.NonUniform, p.Eps)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "newalarm", Title: "NEW-ALARM: UNIFORM vs NONUNIFORM communication with unbalanced cardinalities",
+		Header: []string{"m", "uniform-msgs", "nonuniform-msgs", "measured-reduction", "theory-reduction"},
+		Rows: [][]string{{
+			fmtInt(int64(p.Events)), fmtF(u), fmtF(nu),
+			fmt.Sprintf("%.1f%%", 100*(u-nu)/u),
+			fmt.Sprintf("%.1f%%", 100*(bu-bn2)/bu),
+		}},
+		Notes: []string{
+			"paper reports NONUNIFORM ~35% cheaper than UNIFORM on NEW-ALARM",
+			"theory-reduction compares the Theorem 1 vs Theorem 2 bounds, which assume every counter is in its sampling regime;",
+			"the measured gap approaches the theoretical one as m grows (see EXPERIMENTS.md for the trend)",
+		},
+	}
+	return []*Table{t}, nil
+}
+
+// runAblationCounter compares the HYZ randomized counter against the
+// deterministic threshold counter inside the UNIFORM tracker.
+func runAblationCounter(p Params) ([]*Table, error) {
+	m, err := netgenLoad("alarm")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "ablation-counter", Title: "Ablation: randomized (HYZ) vs deterministic distributed counters, UNIFORM on ALARM",
+		Header: []string{"counter", "m", "messages", "mean-err-to-mle"},
+	}
+	for _, kind := range []core.CounterKind{core.HYZCounter, core.DeterministicCounter} {
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: []core.Strategy{core.Uniform},
+			checkpoints: []int{p.Events}, eps: p.Eps, delta: p.Delta, sites: p.Sites,
+			queries: p.Queries, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+			counter: kind,
+		})
+		if err != nil {
+			return nil, err
+		}
+		name := "hyz"
+		if kind == core.DeterministicCounter {
+			name = "deterministic"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, fmtInt(int64(p.Events)),
+			fmtF(res.messages[core.Uniform][0]),
+			fmtF(stats.Mean(res.errMLE[core.Uniform][0])),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// runAblationSkew exercises the future-work extension of skewed site
+// distributions: Zipf(s) routing, NONUNIFORM on ALARM.
+func runAblationSkew(p Params) ([]*Table, error) {
+	m, err := netgenLoad("alarm")
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "ablation-skew", Title: "Extension: skewed site distribution (Zipf routing), NONUNIFORM on ALARM",
+		Header: []string{"zipf-s", "m", "messages", "mean-err-to-mle"},
+	}
+	for _, s := range p.ZipfS {
+		s := s
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: []core.Strategy{core.NonUniform},
+			checkpoints: []int{p.Events}, eps: p.Eps, delta: p.Delta, sites: p.Sites,
+			queries: p.Queries, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+			assigner: func(run int) stream.Assigner {
+				a, err := stream.NewZipfAssigner(p.Sites, s, p.Seed+917*uint64(run))
+				if err != nil {
+					panic(err) // parameters validated above
+				}
+				return a
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmtF(s), fmtInt(int64(p.Events)),
+			fmtF(res.messages[core.NonUniform][0]),
+			fmtF(stats.Mean(res.errMLE[core.NonUniform][0])),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// runAblationNB compares the Naïve-Bayes specialization (eq. 9) against the
+// general allocations on a Naïve-Bayes model (Section V, Lemma 11).
+func runAblationNB(p Params) ([]*Table, error) {
+	featureCards := make([]int, 30)
+	for i := range featureCards {
+		featureCards[i] = 2 + i%5
+	}
+	net, err := netgen.NaiveBayesNet(5, featureCards)
+	if err != nil {
+		return nil, err
+	}
+	cpds, err := netgen.GenCPTs(net, netgen.DefaultCPTOptions())
+	if err != nil {
+		return nil, err
+	}
+	m, err := bn.NewModel(net, cpds)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		ID: "ablation-nb", Title: "Section V: Naïve-Bayes specialization vs general allocations (5-class NB, 30 features)",
+		Header: []string{"algorithm", "m", "messages", "mean-err-to-mle"},
+	}
+	for _, st := range []core.Strategy{core.Uniform, core.NonUniform, core.NaiveBayes} {
+		res, err := runTracking(trackingSpec{
+			model: m, strategies: []core.Strategy{st},
+			checkpoints: []int{p.Events}, eps: p.Eps, delta: p.Delta, sites: p.Sites,
+			queries: p.Queries, minProb: p.MinProb, runs: p.Runs, seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			st.String(), fmtInt(int64(p.Events)),
+			fmtF(res.messages[st][0]),
+			fmtF(stats.Mean(res.errMLE[st][0])),
+		})
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math"
+
+	"distbayes/internal/core"
+	"distbayes/internal/sketch"
+	"distbayes/internal/stats"
+	"distbayes/internal/stream"
+)
+
+func init() {
+	registry["ablation-sketch"] = runAblationSketch
+}
+
+// runAblationSketch contrasts the paper's communication-efficient tracking
+// with the memory-efficient sketch line of related work (Kveton et al.,
+// discussed in Section II): a CountMin-backed estimator of the same CPDs.
+// The sketch is a centralized method — every event reaches it — so its
+// "messages" equal the exact algorithm's; what it saves is memory cells.
+func runAblationSketch(p Params) ([]*Table, error) {
+	m, err := netgenLoad("munin") // the high-cardinality network
+	if err != nil {
+		return nil, err
+	}
+	net := m.Network()
+
+	queries, err := stream.GenQueries(m, stream.QueryOptions{
+		Count: p.Queries, MinProb: p.MinProb, Seed: p.Seed + 3,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Tracker (NONUNIFORM) for the communication side.
+	tr, err := core.NewTracker(net, core.Config{
+		Strategy: core.NonUniform, Eps: p.Eps, Delta: p.Delta, Sites: p.Sites, Seed: p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Sketches at two memory budgets.
+	skSmall, err := sketch.NewEstimator(net, 64, 3, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	skLarge, err := sketch.NewEstimator(net, 512, 4, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+
+	training := stream.NewTraining(m, stream.NewUniformAssigner(p.Sites, p.Seed+9), p.Seed+11)
+	for e := 0; e < p.Events; e++ {
+		site, x := training.Next()
+		tr.Update(site, x)
+		skSmall.Update(x)
+		skLarge.Update(x)
+	}
+
+	meanErr := func(f func(set []int, x []int) float64) float64 {
+		var errs []float64
+		for _, q := range queries {
+			errs = append(errs, math.Abs(f(q.Set, q.X)-q.Truth)/q.Truth)
+		}
+		return stats.Mean(errs)
+	}
+
+	exactCells := net.NumCells()
+	for i := 0; i < net.Len(); i++ {
+		exactCells += net.ParentCard(i)
+	}
+	t := &Table{
+		ID:     "ablation-sketch",
+		Title:  "Related work: CountMin CPD sketch (memory axis) vs NONUNIFORM tracking (communication axis), MUNIN",
+		Header: []string{"method", "m", "mean-err-to-truth", "memory-cells", "messages"},
+		Rows: [][]string{
+			{"nonuniform-tracker", fmtInt(int64(p.Events)), fmtF(meanErr(tr.QuerySubsetProb)),
+				fmtInt(int64(exactCells)), fmtF(float64(tr.Messages().Total()))},
+			{"sketch-64x3", fmtInt(int64(p.Events)), fmtF(meanErr(skSmall.QuerySubsetProb)),
+				fmtInt(int64(skSmall.MemoryCells())), "centralized (=2n·m)"},
+			{"sketch-512x4", fmtInt(int64(p.Events)), fmtF(meanErr(skLarge.QuerySubsetProb)),
+				fmtInt(int64(skLarge.MemoryCells())), "centralized (=2n·m)"},
+		},
+		Notes: []string{
+			"the sketch compresses memory but still requires centralizing every event;",
+			"the tracker keeps exact-size tables but cuts communication — orthogonal trade-offs (Section II)",
+		},
+	}
+	return []*Table{t}, nil
+}

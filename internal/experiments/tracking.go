@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/stats"
+	"distbayes/internal/stream"
+)
+
+// trackingSpec drives one simulated monitoring run over a model: several
+// trackers (EXACTMLE is always included as the MLE reference) consume the
+// same event sequence, and at each checkpoint the probability-estimation
+// errors and message counts are recorded.
+type trackingSpec struct {
+	model       *bn.Model
+	strategies  []core.Strategy // approximate strategies to run
+	checkpoints []int           // ascending
+	eps, delta  float64
+	sites       int
+	queries     int
+	minProb     float64
+	runs        int
+	seed        uint64
+	counter     core.CounterKind
+	smoothing   float64
+	// assigner, if set, overrides the default uniform router (run index is
+	// passed for seeding).
+	assigner func(run int) stream.Assigner
+}
+
+// trackingResult pools per-query errors across runs and reports the median
+// message count across runs, following the paper ("report the median value
+// from five independent runs").
+type trackingResult struct {
+	checkpoints []int
+	// errTruth[strategy][ci] pools |P̃-P*|/P* over queries and runs.
+	errTruth map[core.Strategy][][]float64
+	// errMLE[strategy][ci] pools |P̃-P̂|/P̂ (P̂ from EXACTMLE on the same
+	// stream); meaningless (empty) for ExactMLE itself.
+	errMLE map[core.Strategy][][]float64
+	// messages[strategy][ci] is the median total message count across runs.
+	messages map[core.Strategy][]float64
+}
+
+func (s trackingSpec) allStrategies() []core.Strategy {
+	out := []core.Strategy{core.ExactMLE}
+	for _, st := range s.strategies {
+		if st != core.ExactMLE {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+func runTracking(s trackingSpec) (*trackingResult, error) {
+	if len(s.checkpoints) == 0 {
+		return nil, fmt.Errorf("experiments: no checkpoints")
+	}
+	for i := 1; i < len(s.checkpoints); i++ {
+		if s.checkpoints[i] <= s.checkpoints[i-1] {
+			return nil, fmt.Errorf("experiments: checkpoints must be ascending")
+		}
+	}
+	if s.runs < 1 {
+		s.runs = 1
+	}
+	all := s.allStrategies()
+	res := &trackingResult{
+		checkpoints: s.checkpoints,
+		errTruth:    map[core.Strategy][][]float64{},
+		errMLE:      map[core.Strategy][][]float64{},
+		messages:    map[core.Strategy][]float64{},
+	}
+	perRunMsgs := map[core.Strategy][][]float64{} // [ci][run]
+	for _, st := range all {
+		res.errTruth[st] = make([][]float64, len(s.checkpoints))
+		res.errMLE[st] = make([][]float64, len(s.checkpoints))
+		perRunMsgs[st] = make([][]float64, len(s.checkpoints))
+	}
+
+	net := s.model.Network()
+	for run := 0; run < s.runs; run++ {
+		trackers := make(map[core.Strategy]*core.Tracker, len(all))
+		for _, st := range all {
+			cfg := core.Config{
+				Strategy: st, Eps: s.eps, Delta: s.delta, Sites: s.sites,
+				Seed: s.seed + uint64(run)*1001 + uint64(st), Counter: s.counter,
+				Smoothing: s.smoothing,
+			}
+			tr, err := core.NewTracker(net, cfg)
+			if err != nil {
+				return nil, err
+			}
+			trackers[st] = tr
+		}
+		queries, err := stream.GenQueries(s.model, stream.QueryOptions{
+			Count: s.queries, MinProb: s.minProb, Seed: s.seed + 31*uint64(run),
+		})
+		if err != nil {
+			return nil, err
+		}
+		var assign stream.Assigner
+		if s.assigner != nil {
+			assign = s.assigner(run)
+		} else {
+			assign = stream.NewUniformAssigner(s.sites, s.seed+77*uint64(run))
+		}
+		training := stream.NewTraining(s.model, assign, s.seed+131*uint64(run))
+
+		exact := trackers[core.ExactMLE]
+		processed := 0
+		for ci, target := range s.checkpoints {
+			for processed < target {
+				site, x := training.Next()
+				for _, tr := range trackers {
+					tr.Update(site, x)
+				}
+				processed++
+			}
+			for _, st := range all {
+				tr := trackers[st]
+				perRunMsgs[st][ci] = append(perRunMsgs[st][ci], float64(tr.Messages().Total()))
+				for _, q := range queries {
+					est := tr.QuerySubsetProb(q.Set, q.X)
+					res.errTruth[st][ci] = append(res.errTruth[st][ci], relErr(est, q.Truth))
+					if st != core.ExactMLE {
+						ref := exact.QuerySubsetProb(q.Set, q.X)
+						if ref > 0 {
+							res.errMLE[st][ci] = append(res.errMLE[st][ci], relErr(est, ref))
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, st := range all {
+		res.messages[st] = make([]float64, len(s.checkpoints))
+		for ci := range s.checkpoints {
+			res.messages[st][ci] = stats.Median(perRunMsgs[st][ci])
+		}
+	}
+	return res, nil
+}
+
+// relErr is the relative error |est-ref|/ref; ref is guaranteed positive for
+// truth values by query generation.
+func relErr(est, ref float64) float64 {
+	if ref == 0 {
+		if est == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(est-ref) / ref
+}
+
+// loadModels resolves network names to ground-truth models via netgenLoad
+// (indirected for tests).
+func loadModels(names []string) (map[string]*bn.Model, error) {
+	out := make(map[string]*bn.Model, len(names))
+	for _, n := range names {
+		m, err := netgenLoad(n)
+		if err != nil {
+			return nil, err
+		}
+		out[n] = m
+	}
+	return out, nil
+}

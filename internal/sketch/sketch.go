@@ -1,0 +1,179 @@
+// Package sketch implements a CountMin-sketch-backed estimator of Bayesian-
+// network parameters, after the "graphical model sketch" line of work
+// (Kveton et al., ECML-PKDD 2016) that the paper discusses as related work
+// (Section II). Where the paper's algorithms spend *communication* to track
+// every counter, the sketch spends *memory*: all pair counters of a variable
+// share one small CountMin table, so the space is O(width·depth) per
+// variable regardless of J_i·K_i, at the price of an additive overcount
+// bias. It is a centralized-memory baseline, not a communication protocol —
+// the ablation bench contrasts the two axes.
+package sketch
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+)
+
+// CountMin is a conservative-update CountMin sketch over uint64 keys.
+type CountMin struct {
+	width int
+	depth int
+	rows  [][]uint64
+	salts []uint64
+	total int64
+}
+
+// NewCountMin creates a sketch with the given width (counters per row) and
+// depth (independent rows). Standard guarantee: overcount ≤ e·N/width with
+// probability 1 - e^{-depth}.
+func NewCountMin(width, depth int, seed uint64) (*CountMin, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("sketch: invalid shape %dx%d", depth, width)
+	}
+	cm := &CountMin{width: width, depth: depth}
+	rng := bn.NewRNG(seed)
+	cm.rows = make([][]uint64, depth)
+	cm.salts = make([]uint64, depth)
+	for d := range cm.rows {
+		cm.rows[d] = make([]uint64, width)
+		cm.salts[d] = rng.Uint64() | 1
+	}
+	return cm, nil
+}
+
+// hash mixes the key with a per-row salt (splitmix-style finalizer).
+func (cm *CountMin) hash(d int, key uint64) int {
+	x := key ^ cm.salts[d]
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(cm.width))
+}
+
+// Add increments the key's count using conservative update (only the
+// minimal cells grow), which tightens the overcount bias.
+func (cm *CountMin) Add(key uint64) {
+	cm.total++
+	est := cm.Count(key)
+	for d := 0; d < cm.depth; d++ {
+		c := &cm.rows[d][cm.hash(d, key)]
+		if *c < est+1 {
+			*c = est + 1
+		}
+	}
+}
+
+// Count returns the estimated count of key (an overestimate in expectation).
+func (cm *CountMin) Count(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for d := 0; d < cm.depth; d++ {
+		if c := cm.rows[d][cm.hash(d, key)]; c < min {
+			min = c
+		}
+	}
+	return min
+}
+
+// Total returns the number of Add calls.
+func (cm *CountMin) Total() int64 { return cm.total }
+
+// MemoryCells returns the number of uint64 cells the sketch holds.
+func (cm *CountMin) MemoryCells() int { return cm.width * cm.depth }
+
+// table abstracts the per-variable counting structure: a dense exact array
+// for small domains, a CountMin sketch for large ones.
+type table interface {
+	Add(key uint64)
+	Count(key uint64) uint64
+	MemoryCells() int
+}
+
+// dense is exact counting for tables that fit.
+type dense struct{ counts []uint64 }
+
+func (d *dense) Add(key uint64)          { d.counts[key]++ }
+func (d *dense) Count(key uint64) uint64 { return d.counts[key] }
+func (d *dense) MemoryCells() int        { return len(d.counts) }
+
+// Estimator tracks the CPDs of a network with one pair table and one parent
+// table per variable.
+type Estimator struct {
+	net   *bn.Network
+	pair  []table
+	par   []table
+	cells int
+}
+
+// NewEstimator chooses per variable between a dense exact table and a
+// width×depth CountMin sketch: the sketch is used only when it is smaller
+// than the exact table (the Kveton et al. setting — compress high-
+// cardinality variables, count small ones exactly).
+func NewEstimator(net *bn.Network, width, depth int, seed uint64) (*Estimator, error) {
+	if width < 1 || depth < 1 {
+		return nil, fmt.Errorf("sketch: invalid shape %dx%d", depth, width)
+	}
+	e := &Estimator{net: net}
+	mk := func(size int, seed uint64) (table, error) {
+		if size <= width*depth {
+			return &dense{counts: make([]uint64, size)}, nil
+		}
+		return NewCountMin(width, depth, seed)
+	}
+	for i := 0; i < net.Len(); i++ {
+		tPair, err := mk(net.Card(i)*net.ParentCard(i), seed+uint64(2*i))
+		if err != nil {
+			return nil, err
+		}
+		tPar, err := mk(net.ParentCard(i), seed+uint64(2*i+1))
+		if err != nil {
+			return nil, err
+		}
+		e.pair = append(e.pair, tPair)
+		e.par = append(e.par, tPar)
+		e.cells += tPair.MemoryCells() + tPar.MemoryCells()
+	}
+	return e, nil
+}
+
+// Update absorbs one observation.
+func (e *Estimator) Update(x []int) {
+	for i := 0; i < e.net.Len(); i++ {
+		pidx := e.net.ParentIndex(i, x)
+		e.pair[i].Add(uint64(pidx)*uint64(e.net.Card(i)) + uint64(x[i]))
+		e.par[i].Add(uint64(pidx))
+	}
+}
+
+// CPD estimates P[X_i = v | parent config pidx] from the sketches, clamped
+// to [0, 1] (overcounts can push the raw ratio above 1).
+func (e *Estimator) CPD(i, v, pidx int) float64 {
+	den := e.par[i].Count(uint64(pidx))
+	if den == 0 {
+		return 0
+	}
+	num := e.pair[i].Count(uint64(pidx)*uint64(e.net.Card(i)) + uint64(v))
+	p := float64(num) / float64(den)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// QuerySubsetProb mirrors core.Tracker.QuerySubsetProb on the sketched
+// parameters.
+func (e *Estimator) QuerySubsetProb(set []int, x []int) float64 {
+	p := 1.0
+	for _, i := range set {
+		p *= e.CPD(i, x[i], e.net.ParentIndex(i, x))
+	}
+	return p
+}
+
+// MemoryCells returns the total number of sketch cells across variables —
+// the space the method trades against the exact table size (NumCells of the
+// network).
+func (e *Estimator) MemoryCells() int { return e.cells }

@@ -1,0 +1,129 @@
+package stream
+
+import (
+	"fmt"
+
+	"distbayes/internal/bn"
+)
+
+// Query is one probability-estimation test event: an assignment X restricted
+// to the ancestrally closed set Set, with ground-truth marginal probability
+// Truth = Π_{i∈Set} P*[x_i | x_i^par] ≥ the generation threshold.
+type Query struct {
+	// Set is an ancestrally closed list of variable indices (topo order).
+	Set []int
+	// X is a full-length assignment; only positions in Set are meaningful.
+	X []int
+	// Truth is the ground-truth probability of the event.
+	Truth float64
+}
+
+// QueryOptions controls test-event generation.
+type QueryOptions struct {
+	// Count is the number of test events (the paper uses 1000).
+	Count int
+	// MinProb is the ground-truth probability floor (the paper uses 0.01,
+	// "to rule out events that are highly unlikely").
+	MinProb float64
+	// Seed drives event sampling.
+	Seed uint64
+	// MaxTries bounds rejection sampling per event before falling back to a
+	// guaranteed single-root event. Defaults to 64 when zero.
+	MaxTries int
+}
+
+// GenQueries samples Count test events from the model. Each event is built
+// by sampling a full assignment, picking a random variable, and taking its
+// ancestral closure; events whose ground-truth probability falls below
+// MinProb are rejected. If rejection sampling exhausts MaxTries, the event
+// falls back to the most probable value of a root variable, whose probability
+// is at least 1/J — so generation always terminates. (Full-joint events are
+// useless as test cases on the large networks: with 724 or 1041 variables
+// every complete assignment has essentially zero probability, so the paper's
+// "ground truth probability at least 0.01" filter forces small events; the
+// ancestral closure is the smallest set containing the chosen variable whose
+// marginal is available in closed form.)
+func GenQueries(m *bn.Model, opt QueryOptions) ([]Query, error) {
+	if opt.Count < 1 {
+		return nil, fmt.Errorf("stream: query count %d, want >= 1", opt.Count)
+	}
+	if opt.MinProb < 0 || opt.MinProb >= 1 {
+		return nil, fmt.Errorf("stream: min prob %v, want [0,1)", opt.MinProb)
+	}
+	maxTries := opt.MaxTries
+	if maxTries == 0 {
+		maxTries = 64
+	}
+	net := m.Network()
+	rng := bn.NewRNG(opt.Seed)
+	sampler := m.NewSampler(opt.Seed ^ 0x51ab)
+
+	var roots []int
+	for i := 0; i < net.Len(); i++ {
+		if len(net.Parents(i)) == 0 {
+			roots = append(roots, i)
+		}
+	}
+
+	queries := make([]Query, 0, opt.Count)
+	x := make([]int, net.Len())
+	for len(queries) < opt.Count {
+		accepted := false
+		for try := 0; try < maxTries; try++ {
+			sampler.Sample(x)
+			v := rng.Intn(net.Len())
+			set := net.AncestralClosure([]int{v})
+			truth := m.SubsetProb(set, x)
+			if truth >= opt.MinProb {
+				queries = append(queries, Query{Set: set, X: cloneInts(x), Truth: truth})
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			// Guaranteed fallback: argmax value of a random root.
+			r := roots[rng.Intn(len(roots))]
+			row := m.CPD(r).Row(0)
+			best, bestP := 0, row[0]
+			for j, p := range row {
+				if p > bestP {
+					best, bestP = j, p
+				}
+			}
+			q := make([]int, net.Len())
+			q[r] = best
+			queries = append(queries, Query{Set: []int{r}, X: q, Truth: bestP})
+		}
+	}
+	return queries, nil
+}
+
+// ClassTest is one classification test case: predict X[Target] from the
+// remaining values of X; Want is the sampled (true) value.
+type ClassTest struct {
+	Target int
+	X      []int
+	Want   int
+}
+
+// GenClassTests samples classification test cases as in Section VI: generate
+// a full assignment from the model, then select one variable to predict given
+// the rest.
+func GenClassTests(m *bn.Model, count int, seed uint64) ([]ClassTest, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("stream: class test count %d, want >= 1", count)
+	}
+	net := m.Network()
+	rng := bn.NewRNG(seed)
+	sampler := m.NewSampler(seed ^ 0xc1a5)
+	tests := make([]ClassTest, count)
+	x := make([]int, net.Len())
+	for i := range tests {
+		sampler.Sample(x)
+		target := rng.Intn(net.Len())
+		tests[i] = ClassTest{Target: target, X: cloneInts(x), Want: x[target]}
+	}
+	return tests, nil
+}
+
+func cloneInts(x []int) []int { return append([]int(nil), x...) }

@@ -1,0 +1,124 @@
+// Package stream generates the distributed training workload and the test
+// workloads of the paper's evaluation (Section VI-A): training events are
+// forward-sampled from a ground-truth model and routed to one of k sites;
+// test events are assignments to ancestrally closed variable subsets with
+// ground-truth probability at least a threshold (0.01 in the paper); and
+// classification tests hide one variable of a sampled assignment.
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+)
+
+// Assigner routes each arriving event to a site in [0, k).
+type Assigner interface {
+	// Next returns the site that receives the next event.
+	Next() int
+}
+
+// UniformAssigner sends each event to a uniformly random site — the
+// distribution used in the paper's experiments.
+type UniformAssigner struct {
+	k   int
+	rng *bn.RNG
+}
+
+// NewUniformAssigner creates a uniform router over k sites.
+func NewUniformAssigner(k int, seed uint64) *UniformAssigner {
+	return &UniformAssigner{k: k, rng: bn.NewRNG(seed)}
+}
+
+// Next implements Assigner.
+func (a *UniformAssigner) Next() int { return a.rng.Intn(a.k) }
+
+// RoundRobinAssigner cycles through sites deterministically.
+type RoundRobinAssigner struct {
+	k, next int
+}
+
+// NewRoundRobinAssigner creates a round-robin router over k sites.
+func NewRoundRobinAssigner(k int) *RoundRobinAssigner { return &RoundRobinAssigner{k: k} }
+
+// Next implements Assigner.
+func (a *RoundRobinAssigner) Next() int {
+	s := a.next
+	a.next = (a.next + 1) % a.k
+	return s
+}
+
+// ZipfAssigner routes events with a Zipf(s) site distribution — the "more
+// skewed distribution across different sites" named as future work in the
+// paper's conclusion, kept here as an extension experiment.
+type ZipfAssigner struct {
+	cdf []float64
+	rng *bn.RNG
+}
+
+// NewZipfAssigner creates a skewed router: site i receives traffic
+// proportional to 1/(i+1)^s. s=0 reduces to uniform.
+func NewZipfAssigner(k int, s float64, seed uint64) (*ZipfAssigner, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("stream: k = %d, want >= 1", k)
+	}
+	if s < 0 {
+		return nil, fmt.Errorf("stream: zipf exponent %v, want >= 0", s)
+	}
+	cdf := make([]float64, k)
+	total := 0.0
+	for i := 0; i < k; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &ZipfAssigner{cdf: cdf, rng: bn.NewRNG(seed)}, nil
+}
+
+// Next implements Assigner.
+func (a *ZipfAssigner) Next() int {
+	u := a.rng.Float64()
+	lo, hi := 0, len(a.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Training couples a ground-truth sampler with a site assigner; each call to
+// Next produces one (site, event) pair. The event buffer is reused: callers
+// must not retain it across calls.
+type Training struct {
+	sampler *bn.Sampler
+	assign  Assigner
+	buf     []int
+	count   int64
+}
+
+// NewTraining builds a training stream for model with the given assigner.
+func NewTraining(model *bn.Model, assign Assigner, seed uint64) *Training {
+	return &Training{
+		sampler: model.NewSampler(seed),
+		assign:  assign,
+		buf:     make([]int, model.Network().Len()),
+	}
+}
+
+// Next returns the next event and its receiving site. The returned slice is
+// reused by subsequent calls.
+func (t *Training) Next() (site int, x []int) {
+	t.sampler.Sample(t.buf)
+	t.count++
+	return t.assign.Next(), t.buf
+}
+
+// Count returns the number of events produced so far.
+func (t *Training) Count() int64 { return t.count }
