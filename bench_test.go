@@ -6,6 +6,8 @@
 package distbayes_test
 
 import (
+	"fmt"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -231,6 +233,58 @@ func BenchmarkTrackerQueryProbAlarm(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tr.QueryProb(q)
+	}
+}
+
+// BenchmarkParallelIngest measures the concurrent sharded ingestion engine:
+// 8 site goroutines generate their own sub-streams and feed one tracker
+// through the batched update path, against a single-goroutine sequential
+// baseline. events/sec is the headline metric; run with different GOMAXPROCS
+// to observe scaling (the parent-index phase parallelizes fully, the counter
+// increments serialize only within a lock stripe).
+func BenchmarkParallelIngest(b *testing.B) {
+	model, err := netgen.ModelByName("alarm")
+	if err != nil {
+		b.Fatal(err)
+	}
+	const sites = 8
+	report := func(b *testing.B, total int64) {
+		b.ReportMetric(float64(total)/b.Elapsed().Seconds(), "events/sec")
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		tr, err := core.NewTracker(model.Network(), core.Config{
+			Strategy: core.NonUniform, Eps: 0.1, Sites: sites, Seed: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		training := stream.NewTraining(model, stream.NewUniformAssigner(sites, 2), 3)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			site, x := training.Next()
+			tr.Update(site, x)
+		}
+		b.StopTimer()
+		report(b, int64(b.N))
+	})
+
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			tr, err := core.NewTracker(model.Network(), core.Config{
+				Strategy: core.NonUniform, Eps: 0.1, Sites: sites, Seed: 1, Shards: shards,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			streams := stream.NewSiteTrainings(model, sites, 3)
+			perSite := (b.N + sites - 1) / sites
+			b.ResetTimer()
+			total := stream.DriveParallel(tr, streams, perSite, 512)
+			b.StopTimer()
+			report(b, total)
+		})
 	}
 }
 

@@ -34,9 +34,33 @@
 //	})
 //	tr.Update(site, event) // once per observation, at the receiving site
 //	p := tr.QueryProb([]int{1, 0})
+//
+// # Concurrency
+//
+// A Tracker is safe for concurrent use: every ingestion entry point (Update,
+// UpdateBatch, UpdateEvents, Ingest) and every query entry point may be
+// called from multiple goroutines. Config.Shards selects the number of lock
+// stripes guarding the counter banks. With Shards ≤ 1 (the default) there is
+// a single stripe: concurrent callers serialize, and for a fixed seed and
+// event order the tracker's counts, message tallies and query answers are
+// bit-identical to the historical sequential implementation. With Shards > 1
+// the banks are striped by variable index with an independent RNG per
+// stripe, so k site goroutines ingest in parallel (see
+// stream.NewSiteTrainings and stream.DriveParallel for per-site sub-streams
+// and a ready-made parallel driver); exact counts remain exact under any
+// interleaving, while randomized-counter message schedules become
+// interleaving-dependent (still within the (ε, δ) guarantee). Batched
+// ingestion (UpdateBatch / Ingest) additionally moves the parent-index
+// computation outside the locks, so producers share almost no serialized
+// work beyond the counter increments themselves. SaveState/LoadState require
+// ingestion to be quiesced for a meaningful stream position, as does any
+// out-of-band mutation of Config.CounterFactory counters (e.g. the decay
+// banks' Tick), whose mutation the stripe locks only cover inside Inc.
 package distbayes
 
 import (
+	"context"
+
 	"distbayes/internal/bif"
 	"distbayes/internal/bn"
 	"distbayes/internal/core"
@@ -71,6 +95,9 @@ type (
 	Allocation = core.Allocation
 	// Metrics tallies protocol messages.
 	Metrics = counter.Metrics
+	// Event is one (site, observation) pair, the unit of batched and
+	// channel-based ingestion (Tracker.UpdateEvents, Tracker.Ingest).
+	Event = core.Event
 )
 
 // Strategies.
@@ -124,6 +151,28 @@ type (
 // NewTraining builds a training stream over k uniformly loaded sites.
 func NewTraining(model *Model, sites int, seed uint64) *Training {
 	return stream.NewTraining(model, stream.NewUniformAssigner(sites, seed^0xdead), seed)
+}
+
+// NewSiteTrainings builds one independent training sub-stream per site for
+// parallel ingestion — pair with DriveParallel, Produce, or one
+// Tracker.Ingest/UpdateBatch pump per site.
+func NewSiteTrainings(model *Model, sites int, seed uint64) []*Training {
+	return stream.NewSiteTrainings(model, sites, seed)
+}
+
+// DriveParallel ingests perSite events from each sub-stream into tr on one
+// goroutine per stream, in batches of batchSize events; returns the total
+// ingested. The k-sites-on-k-goroutines engine behind the throughput
+// benchmarks.
+func DriveParallel(tr *Tracker, streams []*Training, perSite, batchSize int) int64 {
+	return stream.DriveParallel(tr, streams, perSite, batchSize)
+}
+
+// Produce sends the next n events of t into out (each with its own backing
+// array, ready for Tracker.Ingest), stopping early if ctx is canceled;
+// returns how many were sent. The channel is left open — the caller owns it.
+func Produce(ctx context.Context, t *Training, n int, out chan<- Event) int64 {
+	return stream.Produce(ctx, t, n, out)
 }
 
 // GenQueries samples probability test events with truth at least minProb.

@@ -1,8 +1,10 @@
 package distbayes_test
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"distbayes"
 )
@@ -97,4 +99,45 @@ func ExampleMarshalBIF() {
 	fmt.Printf("P[heads] = %.1f\n", back.JointProb([]int{1}))
 	// Output:
 	// P[heads] = 0.5
+}
+
+// ExampleTracker_Ingest demonstrates concurrent ingestion: per-site producer
+// goroutines feed one sharded tracker through a channel pump. With the
+// ExactMLE strategy every tally is interleaving-independent, so the output
+// is deterministic even though ingestion is parallel.
+func ExampleTracker_Ingest() {
+	model, err := distbayes.LoadModel("alarm")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const sites, perSite = 4, 2000
+	tr, err := distbayes.NewTracker(model.Network(), distbayes.Config{
+		Strategy: distbayes.ExactMLE, Sites: sites, Seed: 1, Shards: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ch := make(chan distbayes.Event, 128)
+	var producers sync.WaitGroup
+	for _, st := range distbayes.NewSiteTrainings(model, sites, 7) {
+		producers.Add(1)
+		go func(st *distbayes.Training) {
+			defer producers.Done()
+			distbayes.Produce(context.Background(), st, perSite, ch)
+		}(st)
+	}
+	go func() {
+		producers.Wait()
+		close(ch)
+	}()
+
+	n, err := tr.Ingest(context.Background(), ch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %d events on %d sites; %d exact-counter messages\n",
+		n, sites, tr.Messages().SiteToCoord)
+	// Output:
+	// ingested 8000 events on 4 sites; 592000 exact-counter messages
 }

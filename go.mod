@@ -1,0 +1,3 @@
+module distbayes
+
+go 1.24

@@ -8,9 +8,12 @@ import (
 // RunLocal executes a full cluster run on loopback TCP: it starts a
 // coordinator on an ephemeral port, launches cfg.Sites site goroutines (each
 // with its own TCP connection), and returns the run result together with the
-// coordinator (still usable for queries). This is the harness behind the
-// Figure 7/8 experiments and the cluster example; cmd/bncluster runs the
-// same roles as separate processes.
+// coordinator (still usable for queries). Sites generate the same per-site
+// sub-streams as the in-process parallel engine (stream.NewSiteTrainings
+// with seed StreamSeed+id), so a cluster run and a sharded in-process run
+// over the same StreamSeed ingest identical events. This is the harness
+// behind the Figure 7/8 experiments and the cluster example; cmd/bncluster
+// runs the same roles as separate processes.
 func RunLocal(cfg Config) (Result, *Coordinator, error) {
 	co, err := NewCoordinator(cfg, "127.0.0.1:0")
 	if err != nil {

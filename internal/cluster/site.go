@@ -8,6 +8,7 @@ import (
 	"distbayes/internal/bn"
 	"distbayes/internal/core"
 	"distbayes/internal/netgen"
+	"distbayes/internal/stream"
 )
 
 // Site is one stream-receiving processor of the monitoring system. It
@@ -88,15 +89,21 @@ func (s *Site) process(c *conn, cfg StartConfig) error {
 	k := int(cfg.Sites)
 	counts := make([]int64, layout.NumCounters())
 	rng := bn.NewRNG(cfg.StreamSeed ^ (uint64(s.id) * 0x9e3779b97f4a7c15))
-	sampler := model.NewSampler(cfg.StreamSeed + uint64(s.id))
-	x := make([]int, netw.Len())
+	// The site's share of the stream is the same per-site sub-stream the
+	// in-process parallel engine uses — one shared constructor guards the
+	// cluster-vs-in-process equivalence.
+	training := stream.NewSiteTraining(model, int(s.id), cfg.StreamSeed)
 
 	ups := make([]Update, 0, 2*netw.Len())
 	buf := make([]byte, 0, 24*netw.Len())
 	latency := time.Duration(cfg.LatencyMicros) * time.Microsecond
+	// Without artificial latency, frames ride the 64KB connection buffer;
+	// flush on a fixed event cadence so the coordinator's continuous view
+	// stays fresh even on low-rate counters.
+	const flushEvery = 1024
 
 	for e := uint64(0); e < cfg.Events; e++ {
-		sampler.Sample(x)
+		_, x := training.Next()
 		ups = ups[:0]
 		for i := 0; i < netw.Len(); i++ {
 			pidx := netw.ParentIndex(i, x)
@@ -108,18 +115,25 @@ func (s *Site) process(c *conn, cfg StartConfig) error {
 				}
 			}
 		}
-		if len(ups) == 0 {
-			continue // the paper's optimization: no updates, no message
+		if len(ups) > 0 {
+			buf = encodeUpdates(buf, ups)
+			if err := c.writeFrame(frameUpdates, buf); err != nil {
+				return err
+			}
+			if latency > 0 {
+				if err := c.flush(); err != nil {
+					return err
+				}
+				time.Sleep(latency)
+			}
 		}
-		buf = encodeUpdates(buf, ups)
-		if err := c.writeFrame(frameUpdates, buf); err != nil {
-			return err
-		}
-		if latency > 0 {
+		// Cadence check runs even for update-less events (the paper's no
+		// update, no message optimization), so a frame buffered during a
+		// long quiet stretch still reaches the coordinator promptly.
+		if latency == 0 && (e+1)%flushEvery == 0 {
 			if err := c.flush(); err != nil {
 				return err
 			}
-			time.Sleep(latency)
 		}
 	}
 	if err := c.writeFrame(frameDone, encodeDone(s.id, int64(cfg.Events))); err != nil {

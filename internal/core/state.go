@@ -19,10 +19,11 @@ import (
 // the stream is bit-for-bit identical to never having stopped (see
 // TestCheckpointRoundTripEquivalence).
 
-const stateMagic = "DBAYES01"
+const stateMagic = "DBAYES02"
 
 // fingerprint binds a snapshot to the network shape and the configuration
-// knobs that affect counter state layout.
+// knobs that affect counter state layout (including the stripe count, which
+// fixes which RNG each randomized counter draws from).
 func (t *Tracker) fingerprint() uint64 {
 	h := fnv.New64a()
 	var b [8]byte
@@ -42,11 +43,18 @@ func (t *Tracker) fingerprint() uint64 {
 	w(uint64(t.cfg.Sites))
 	w(uint64(t.cfg.Counter))
 	w(math.Float64bits(t.cfg.Eps))
+	w(uint64(len(t.shards)))
 	return h.Sum64()
 }
 
-// SaveState writes the tracker's dynamic state to w.
+// SaveState writes the tracker's dynamic state to w. Every stripe is locked
+// for the duration, which excludes torn counter reads, but an in-flight
+// multi-stripe update may be captured half-applied (earlier stripes include
+// the event, later ones not yet): quiesce ingestion first for a consistent
+// snapshot, not just for a specific stream position.
 func (t *Tracker) SaveState(w io.Writer) error {
+	t.lockAll()
+	defer t.unlockAll()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(stateMagic); err != nil {
 		return err
@@ -60,18 +68,21 @@ func (t *Tracker) SaveState(w io.Writer) error {
 	if err := put(t.fingerprint()); err != nil {
 		return err
 	}
-	if err := put(uint64(t.events)); err != nil {
+	if err := put(uint64(t.Events())); err != nil {
 		return err
 	}
-	if err := put(uint64(t.metrics.SiteToCoord)); err != nil {
+	msgs := t.metrics.Snapshot()
+	if err := put(uint64(msgs.SiteToCoord)); err != nil {
 		return err
 	}
-	if err := put(uint64(t.metrics.CoordToSite)); err != nil {
+	if err := put(uint64(msgs.CoordToSite)); err != nil {
 		return err
 	}
-	for _, s := range t.rng.State() {
-		if err := put(s); err != nil {
-			return err
+	for s := range t.shards {
+		for _, v := range t.shards[s].rng.State() {
+			if err := put(v); err != nil {
+				return err
+			}
 		}
 	}
 	writeCounter := func(c counter.Counter) error {
@@ -105,9 +116,11 @@ func (t *Tracker) SaveState(w io.Writer) error {
 }
 
 // LoadState restores a snapshot produced by SaveState. The receiver must
-// have been constructed with NewTracker over the same network and Config; a
-// fingerprint mismatch is rejected.
+// have been constructed with NewTracker over the same network and Config
+// (including the same Shards); a fingerprint mismatch is rejected.
 func (t *Tracker) LoadState(r io.Reader) error {
+	t.lockAll()
+	defer t.unlockAll()
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(stateMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -142,10 +155,12 @@ func (t *Tracker) LoadState(r io.Reader) error {
 	if err != nil {
 		return err
 	}
-	var rngState [4]uint64
-	for i := range rngState {
-		if rngState[i], err = get(); err != nil {
-			return err
+	rngStates := make([][4]uint64, len(t.shards))
+	for s := range rngStates {
+		for i := range rngStates[s] {
+			if rngStates[s][i], err = get(); err != nil {
+				return err
+			}
 		}
 	}
 
@@ -179,8 +194,10 @@ func (t *Tracker) LoadState(r io.Reader) error {
 			}
 		}
 	}
-	t.events = int64(events)
-	t.metrics = counter.Metrics{SiteToCoord: int64(up), CoordToSite: int64(down)}
-	t.rng.SetState(rngState)
+	t.events.Store(int64(events))
+	t.metrics.Store(counter.Metrics{SiteToCoord: int64(up), CoordToSite: int64(down)})
+	for s := range t.shards {
+		t.shards[s].rng.SetState(rngStates[s])
+	}
 	return nil
 }

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"distbayes/internal/bn"
 	"distbayes/internal/counter"
@@ -32,8 +35,24 @@ type Config struct {
 	Smoothing float64
 	// CounterFactory, if non-nil, overrides counter construction for every
 	// strategy (the time-decay extension plugs in here). eps is the
-	// allocated error parameter of the counter; it is 0 for ExactMLE.
+	// allocated error parameter of the counter; it is 0 for ExactMLE. The
+	// rng argument is the lock stripe's generator: counters built from it
+	// are only ever driven under that stripe's lock. The tracker's
+	// concurrent-use guarantee extends to factory counters only if all
+	// their mutation happens inside Inc; a factory whose counters are also
+	// mutated out of band (e.g. the decay banks' Tick/rotate) requires
+	// ingestion to be quiesced around those external mutations.
 	CounterFactory func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error)
+	// Shards is the number of lock stripes of the concurrent ingestion
+	// engine. Variable i's counter banks belong to stripe i mod Shards, and
+	// every stripe owns an independent RNG. 0 and 1 both mean a single
+	// stripe, which keeps one global update order and one RNG and therefore
+	// reproduces the historical sequential tracker exactly (same counts,
+	// same message tallies, same query answers for a fixed seed and event
+	// order). Shards > 1 lets concurrent updates proceed on different
+	// stripes in parallel; exact counts stay exact, but randomized-counter
+	// message schedules become interleaving-dependent.
+	Shards int
 }
 
 func (c Config) validate() error {
@@ -51,27 +70,81 @@ func (c Config) validate() error {
 	if c.Delta < 0 || c.Delta >= 1 {
 		return fmt.Errorf("core: delta = %v, want 0 <= delta < 1", c.Delta)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("core: shards = %d, want >= 0", c.Shards)
+	}
 	return nil
+}
+
+// Event is one training observation routed to a site — the unit of the
+// batched (UpdateEvents) and channel (Ingest) ingestion APIs.
+type Event struct {
+	// Site is the receiving site in [0, Config.Sites).
+	Site int
+	// X is the full observed assignment. The tracker only reads it for the
+	// duration of the ingesting call; producers that hand events to another
+	// goroutine must give each event its own backing array (see
+	// stream.Training.NextEvents).
+	X []int
 }
 
 // Tracker continuously maintains an approximation of the MLE of a Bayesian
 // network's parameters over a distributed stream (Algorithms 1-3). It is the
 // coordinator-plus-sites simulation; messages are tallied per counter update
-// as in the paper's experiments. Not safe for concurrent use.
+// as in the paper's experiments.
+//
+// Concurrency model: all ingestion entry points (Update, UpdateBatch,
+// UpdateEvents, Ingest) and all query entry points (QueryProb, QueryCPD,
+// Classify, ExactCount, EstimatedModel, ...) are safe to call from multiple
+// goroutines. Counter banks are partitioned into Config.Shards lock stripes
+// by variable index; an update walks the stripes in ascending order, so two
+// concurrent updates pipeline across stripes instead of serializing.
+// Concurrent queries must not share mutable arguments — Classify scratches
+// x[target] in the caller's slice, so each goroutine needs its own x.
+// External quiescence is required only for SaveState/LoadState (stripe
+// locking excludes torn counter reads, but a mid-flight multi-stripe update
+// can be captured half-applied — see SaveState) and for out-of-band
+// mutation of CounterFactory counters such as the decay banks' Tick (see
+// Config.CounterFactory).
 type Tracker struct {
+	// metrics is first so its int64 tallies are 64-bit aligned for the
+	// atomic ops even on 32-bit platforms (the first word of an allocated
+	// struct is guaranteed aligned).
+	metrics counter.Metrics
+	events  atomic.Int64
+
 	net   *bn.Network
 	cfg   Config
 	alloc Allocation
 
-	metrics counter.Metrics
-	rng     *bn.RNG
+	// shards[s] guards the counter banks of the variables in shards[s].vars
+	// (those with i % len(shards) == s). Stripes are always acquired in
+	// ascending order, so walks over multiple stripes cannot deadlock.
+	shards []shard
 
 	// pair[i] holds A_i(x_i, x_i^par), laid out pidx*J_i + x_i to match the
 	// CPT layout of bn.CPT. par[i] holds A_i(x_i^par), indexed by pidx.
 	pair [][]counter.Counter
 	par  [][]counter.Counter
 
-	events int64
+	scratch sync.Pool // *[]int32 parent-index buffers for batched ingestion
+}
+
+// shard is one lock stripe: a mutex, the stripe-local RNG feeding the
+// randomized counters that live here, and the owned variable indices in
+// ascending order.
+type shard struct {
+	mu   sync.Mutex
+	rng  *bn.RNG
+	vars []int
+}
+
+// numShards normalizes Config.Shards (0 means 1).
+func (c Config) numShards() int {
+	if c.Shards <= 1 {
+		return 1
+	}
+	return c.Shards
 }
 
 // NewTracker builds the counter banks for net per Algorithm 1 (INIT).
@@ -87,22 +160,36 @@ func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
 		net:   net,
 		cfg:   cfg,
 		alloc: alloc,
-		rng:   bn.NewRNG(cfg.Seed),
 		pair:  make([][]counter.Counter, net.Len()),
 		par:   make([][]counter.Counter, net.Len()),
 	}
+	nShards := cfg.numShards()
+	if nShards > net.Len() && net.Len() > 0 {
+		nShards = net.Len() // more stripes than variables buys nothing
+	}
+	t.shards = make([]shard, nShards)
+	// Stripe 0 keeps the historical sequential RNG (seeded cfg.Seed), which
+	// is what makes Shards ≤ 1 bit-identical to the old tracker.
+	t.shards[0].rng = bn.NewRNG(cfg.Seed)
+	for s := 1; s < nShards; s++ {
+		// Derive independent stripe generators from the seed (splitmix-style
+		// offset keeps them decorrelated from stripe 0 and each other).
+		t.shards[s].rng = bn.NewRNG(cfg.Seed + uint64(s)*0x9e3779b97f4a7c15)
+	}
 	for i := 0; i < net.Len(); i++ {
+		sh := &t.shards[i%nShards]
+		sh.vars = append(sh.vars, i)
 		j, k := net.Card(i), net.ParentCard(i)
 		t.pair[i] = make([]counter.Counter, j*k)
 		for c := range t.pair[i] {
-			t.pair[i][c], err = t.newCounter(alloc.EpsA[i])
+			t.pair[i][c], err = t.newCounter(alloc.EpsA[i], sh.rng)
 			if err != nil {
 				return nil, err
 			}
 		}
 		t.par[i] = make([]counter.Counter, k)
 		for c := range t.par[i] {
-			t.par[i][c], err = t.newCounter(alloc.EpsB[i])
+			t.par[i][c], err = t.newCounter(alloc.EpsB[i], sh.rng)
 			if err != nil {
 				return nil, err
 			}
@@ -111,20 +198,36 @@ func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
 	return t, nil
 }
 
-func (t *Tracker) newCounter(eps float64) (counter.Counter, error) {
+func (t *Tracker) newCounter(eps float64, rng *bn.RNG) (counter.Counter, error) {
 	if t.cfg.CounterFactory != nil {
-		return t.cfg.CounterFactory(eps, &t.metrics, t.rng)
+		return t.cfg.CounterFactory(eps, &t.metrics, rng)
 	}
 	if t.cfg.Strategy == ExactMLE {
 		return counter.NewExact(&t.metrics), nil
 	}
 	switch t.cfg.Counter {
 	case HYZCounter:
-		return counter.NewHYZ(t.cfg.Sites, eps, t.cfg.Delta, &t.metrics, t.rng)
+		return counter.NewHYZ(t.cfg.Sites, eps, t.cfg.Delta, &t.metrics, rng)
 	case DeterministicCounter:
 		return counter.NewDeterministic(t.cfg.Sites, eps, &t.metrics)
 	default:
 		return nil, fmt.Errorf("core: unknown counter kind %d", t.cfg.Counter)
+	}
+}
+
+// stripeOf returns the lock stripe owning variable i's counter banks.
+func (t *Tracker) stripeOf(i int) *shard { return &t.shards[i%len(t.shards)] }
+
+// lockAll acquires every stripe in ascending order (checkpointing).
+func (t *Tracker) lockAll() {
+	for s := range t.shards {
+		t.shards[s].mu.Lock()
+	}
+}
+
+func (t *Tracker) unlockAll() {
+	for s := range t.shards {
+		t.shards[s].mu.Unlock()
 	}
 }
 
@@ -138,32 +241,179 @@ func (t *Tracker) Config() Config { return t.cfg }
 func (t *Tracker) Allocation() Allocation { return t.alloc }
 
 // Events returns the number of training observations processed.
-func (t *Tracker) Events() int64 { return t.events }
+func (t *Tracker) Events() int64 { return t.events.Load() }
 
-// Messages returns the protocol messages exchanged so far.
-func (t *Tracker) Messages() counter.Metrics { return t.metrics }
+// Messages returns a snapshot of the protocol messages exchanged so far;
+// safe to call while ingestion is in flight.
+func (t *Tracker) Messages() counter.Metrics { return t.metrics.Snapshot() }
 
-// Update records one training observation x received at the given site
-// (Algorithm 2): for every variable the pair counter and the parent counter
-// of the observed configuration are incremented.
-func (t *Tracker) Update(site int, x []int) {
+func (t *Tracker) checkSite(site int) {
 	if site < 0 || site >= t.cfg.Sites {
 		panic(fmt.Sprintf("core: site %d out of range [0,%d)", site, t.cfg.Sites))
 	}
-	for i := 0; i < t.net.Len(); i++ {
-		pidx := t.net.ParentIndex(i, x)
-		t.pair[i][pidx*t.net.Card(i)+x[i]].Inc(site)
-		t.par[i][pidx].Inc(site)
+}
+
+// Update records one training observation x received at the given site
+// (Algorithm 2): for every variable the pair counter and the parent counter
+// of the observed configuration are incremented. Safe for concurrent use;
+// with a single stripe, concurrent callers serialize in arrival order.
+func (t *Tracker) Update(site int, x []int) {
+	t.checkSite(site)
+	if len(t.shards) == 1 {
+		// Single stripe: hoisting parent indices buys no parallelism (the
+		// lock must be held for every variable anyway), so keep the
+		// historical zero-overhead inline loop.
+		sh := &t.shards[0]
+		sh.mu.Lock()
+		for i := 0; i < t.net.Len(); i++ {
+			pidx := t.net.ParentIndex(i, x)
+			t.pair[i][pidx*t.net.Card(i)+x[i]].Inc(site)
+			t.par[i][pidx].Inc(site)
+		}
+		sh.mu.Unlock()
+	} else {
+		// Multi-stripe: share the batched engine's hoist-then-walk logic
+		// (single-event chunk) so there is one copy of the striping code.
+		t.applyChunk(0, 1, func(int) []int { return x }, func(int) int { return site })
 	}
-	t.events++
+	t.events.Add(1)
+}
+
+// getScratch returns a parent-index buffer with at least n cells.
+func (t *Tracker) getScratch(n int) []int32 {
+	if p, ok := t.scratch.Get().(*[]int32); ok && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n)
+}
+
+func (t *Tracker) putScratch(buf []int32) { t.scratch.Put(&buf) }
+
+// applyIndexed is the batched ingestion engine shared by UpdateBatch,
+// UpdateEvents and Ingest. The goroutine-local phase computes every event's
+// parent indices with no lock held (this is the bulk of the per-event CPU
+// work and parallelizes perfectly across producers); the merge phase then
+// walks the stripes in ascending order and, under each stripe's lock, replays
+// the batch's increments for the variables that stripe owns. With one stripe
+// this reproduces the sequential per-event update order exactly.
+func (t *Tracker) applyIndexed(m int, xAt func(int) []int, siteAt func(int) int) {
+	if m == 0 {
+		return
+	}
+	// Process huge batches in bounded chunks so the scratch buffer (and the
+	// pooled slab it leaves behind) stays small regardless of batch size.
+	// Chunking preserves per-event order within each stripe, so the
+	// single-stripe sequential equivalence is unaffected.
+	const maxChunk = 4096
+	for lo := 0; lo < m; lo += maxChunk {
+		t.applyChunk(lo, min(lo+maxChunk, m), xAt, siteAt)
+	}
+	t.events.Add(int64(m))
+}
+
+func (t *Tracker) applyChunk(lo, hi int, xAt func(int) []int, siteAt func(int) int) {
+	n := t.net.Len()
+	idx := t.getScratch((hi - lo) * n)
+	for e := lo; e < hi; e++ {
+		x := xAt(e)
+		row := idx[(e-lo)*n : (e-lo)*n+n]
+		for i := 0; i < n; i++ {
+			row[i] = int32(t.net.ParentIndex(i, x))
+		}
+	}
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for e := lo; e < hi; e++ {
+			x, site := xAt(e), siteAt(e)
+			row := idx[(e-lo)*n : (e-lo)*n+n]
+			for _, i := range sh.vars {
+				pidx := int(row[i])
+				t.pair[i][pidx*t.net.Card(i)+x[i]].Inc(site)
+				t.par[i][pidx].Inc(site)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	t.putScratch(idx)
+}
+
+// UpdateBatch records a batch of observations all received at the same site,
+// amortizing lock traffic over the batch (one stripe acquisition per stripe
+// per batch instead of per event). Safe for concurrent use.
+func (t *Tracker) UpdateBatch(site int, events [][]int) {
+	t.checkSite(site)
+	t.applyIndexed(len(events), func(e int) []int { return events[e] }, func(int) int { return site })
+}
+
+// UpdateEvents records a batch of observations with per-event sites — the
+// mixed-site sibling of UpdateBatch, used when one pump drains a stream that
+// interleaves all sites. Safe for concurrent use.
+func (t *Tracker) UpdateEvents(events []Event) {
+	for i := range events {
+		t.checkSite(events[i].Site)
+	}
+	t.applyIndexed(len(events), func(e int) []int { return events[e].X }, func(e int) int { return events[e].Site })
+}
+
+// Ingest pumps events from the channel into the tracker until the channel is
+// closed (returning a nil error) or ctx is canceled (returning ctx.Err()).
+// Events are drained opportunistically into batches so a fast producer pays
+// batched-ingestion cost rather than per-event lock traffic. Multiple Ingest
+// pumps may run concurrently on one tracker; the count of events this pump
+// ingested is returned either way.
+func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	const maxBatch = 256
+	done := ctx.Done()
+	batch := make([]Event, 0, maxBatch)
+	var ingested int64
+	flush := func() {
+		t.UpdateEvents(batch)
+		ingested += int64(len(batch))
+		batch = batch[:0]
+	}
+	for {
+		select {
+		case <-done:
+			return ingested, ctx.Err()
+		case ev, ok := <-events:
+			if !ok {
+				return ingested, nil
+			}
+			batch = append(batch, ev)
+		}
+	drain:
+		for len(batch) < maxBatch {
+			select {
+			case ev, ok := <-events:
+				if !ok {
+					flush()
+					return ingested, nil
+				}
+				batch = append(batch, ev)
+			default:
+				break drain
+			}
+		}
+		flush()
+	}
 }
 
 // cpdFactor returns the tracked estimate of P[x_i = v | parent config pidx],
-// with the configured smoothing.
+// with the configured smoothing. The pair and parent counters are read under
+// their stripe's lock so the ratio is consistent against in-flight updates.
 func (t *Tracker) cpdFactor(i, v, pidx int) float64 {
-	ji := float64(t.net.Card(i))
-	num := t.pair[i][pidx*t.net.Card(i)+v].Estimate() + t.cfg.Smoothing
-	den := t.par[i][pidx].Estimate() + t.cfg.Smoothing*ji
+	ji := t.net.Card(i)
+	sh := t.stripeOf(i)
+	sh.mu.Lock()
+	num := t.pair[i][pidx*ji+v].Estimate()
+	den := t.par[i][pidx].Estimate()
+	sh.mu.Unlock()
+	num += t.cfg.Smoothing
+	den += t.cfg.Smoothing * float64(ji)
 	if den <= 0 {
 		return 0
 	}
@@ -198,7 +448,8 @@ func (t *Tracker) QueryCPD(i, v, pidx int) float64 { return t.cpdFactor(i, v, pi
 // Classify returns argmax_y of the tracked P[X_target = y | x_{-target}]
 // (the approximate Bayesian classification of Definition 4). Only the
 // factors in the target's Markov blanket are scanned. Ties break toward the
-// smaller value. The scratch cell x[target] is restored before returning.
+// smaller value. The scratch cell x[target] is restored before returning,
+// so concurrent callers must each pass their own x slice.
 func (t *Tracker) Classify(target int, x []int) int {
 	saved := x[target]
 	defer func() { x[target] = saved }()
@@ -263,8 +514,11 @@ func (t *Tracker) EstimatedModel() (*bn.Model, error) {
 
 // ExactCount returns the true (not estimated) pair and parent counts for a
 // cell; used by evaluation code to compute the exact-MLE reference from the
-// same tracker run.
+// same tracker run. Both counts are read under the variable's stripe lock.
 func (t *Tracker) ExactCount(i, v, pidx int) (pairCount, parCount int64) {
+	sh := t.stripeOf(i)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	return t.pair[i][pidx*t.net.Card(i)+v].Exact(), t.par[i][pidx].Exact()
 }
 

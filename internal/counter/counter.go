@@ -20,6 +20,7 @@ package counter
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"distbayes/internal/bn"
 )
@@ -27,6 +28,14 @@ import (
 // Metrics tallies protocol messages. One message is one counter update or
 // one synchronization/broadcast unit, matching the accounting used in the
 // paper's experiments (Section VI-A).
+//
+// A Metrics value used as a live sink (passed by pointer to counter
+// constructors) is race-safe: counters tally through atomic adds, so one sink
+// may be shared by counters living in different lock stripes of a sharded
+// tracker. Read a live sink with Snapshot; plain field access is only safe
+// once all ingestion has completed (or on Snapshot copies). When embedding a
+// live sink inside another struct, place it at a 64-bit-aligned offset
+// (e.g. as the first field) so the atomic ops hold on 32-bit platforms.
 type Metrics struct {
 	// SiteToCoord counts site → coordinator messages (counter updates and
 	// round-synchronization reports).
@@ -43,6 +52,30 @@ func (m Metrics) Total() int64 { return m.SiteToCoord + m.CoordToSite }
 func (m *Metrics) Add(other Metrics) {
 	m.SiteToCoord += other.SiteToCoord
 	m.CoordToSite += other.CoordToSite
+}
+
+// AddSiteToCoord atomically tallies n site → coordinator messages.
+func (m *Metrics) AddSiteToCoord(n int64) { atomic.AddInt64(&m.SiteToCoord, n) }
+
+// AddCoordToSite atomically tallies n coordinator → site messages.
+func (m *Metrics) AddCoordToSite(n int64) { atomic.AddInt64(&m.CoordToSite, n) }
+
+// Snapshot returns a race-free copy of the tallies, safe to call while other
+// goroutines are still incrementing counters that write to m. The two fields
+// are loaded independently, so a snapshot taken mid-update (e.g. between a
+// round's report and broadcast tallies) need not satisfy cross-field
+// invariants; quiesce ingestion for an exact pair.
+func (m *Metrics) Snapshot() Metrics {
+	return Metrics{
+		SiteToCoord: atomic.LoadInt64(&m.SiteToCoord),
+		CoordToSite: atomic.LoadInt64(&m.CoordToSite),
+	}
+}
+
+// Store atomically overwrites the tallies with those of other.
+func (m *Metrics) Store(other Metrics) {
+	atomic.StoreInt64(&m.SiteToCoord, other.SiteToCoord)
+	atomic.StoreInt64(&m.CoordToSite, other.CoordToSite)
 }
 
 // Counter is a continuously tracked distributed counter.
@@ -72,7 +105,7 @@ func NewExact(metrics *Metrics) *Exact {
 func (c *Exact) Inc(site int) {
 	_ = site
 	c.total++
-	c.metrics.SiteToCoord++
+	c.metrics.AddSiteToCoord(1)
 }
 
 // Estimate implements Counter; it is always the exact value.
@@ -176,7 +209,7 @@ func (c *HYZ) Inc(site int) {
 	c.total++
 	if !c.sampling {
 		// Exact mode: forward every increment.
-		c.metrics.SiteToCoord++
+		c.metrics.AddSiteToCoord(1)
 		if c.total >= ExactThreshold(c.k, c.eps) {
 			c.openRound()
 		}
@@ -191,7 +224,7 @@ func (c *HYZ) Inc(site int) {
 // report delivers site's current in-round delta to the coordinator and
 // advances the round if the in-round estimate shows the count has doubled.
 func (c *HYZ) report(site int) {
-	c.metrics.SiteToCoord++
+	c.metrics.AddSiteToCoord(1)
 	if c.r[site] == 0 {
 		c.nReporters++
 	}
@@ -210,12 +243,12 @@ func (c *HYZ) openRound() {
 		// mode needs only the broadcast because the coordinator is already
 		// exact, but we charge the general cost there too for simplicity of
 		// the cluster protocol (it re-polls all sites).
-		c.metrics.SiteToCoord += int64(c.k)
+		c.metrics.AddSiteToCoord(int64(c.k))
 	} else {
 		c.sampling = true
-		c.metrics.SiteToCoord += int64(c.k)
+		c.metrics.AddSiteToCoord(int64(c.k))
 	}
-	c.metrics.CoordToSite += int64(c.k)
+	c.metrics.AddCoordToSite(int64(c.k))
 
 	c.base = c.total
 	c.p = ReportProb(c.k, c.eps, c.base)
@@ -291,7 +324,7 @@ func NewDeterministic(k int, eps float64, metrics *Metrics) (*Deterministic, err
 func (c *Deterministic) Inc(site int) {
 	c.total++
 	if !c.sampling {
-		c.metrics.SiteToCoord++
+		c.metrics.AddSiteToCoord(1)
 		// Exact until a quantum of at least 2 is worthwhile.
 		if q := int64(math.Ceil(c.eps * float64(c.total) / float64(c.k))); q >= 2 {
 			c.openRound()
@@ -300,7 +333,7 @@ func (c *Deterministic) Inc(site int) {
 	}
 	c.pending[site]++
 	if c.pending[site] >= c.quantum {
-		c.metrics.SiteToCoord++
+		c.metrics.AddSiteToCoord(1)
 		c.reported += c.pending[site]
 		c.pending[site] = 0
 		if c.reported >= c.base {
@@ -311,8 +344,8 @@ func (c *Deterministic) Inc(site int) {
 
 func (c *Deterministic) openRound() {
 	c.sampling = true
-	c.metrics.SiteToCoord += int64(c.k)
-	c.metrics.CoordToSite += int64(c.k)
+	c.metrics.AddSiteToCoord(int64(c.k))
+	c.metrics.AddCoordToSite(int64(c.k))
 	c.base = c.total
 	c.quantum = int64(math.Ceil(c.eps * float64(c.base) / float64(c.k)))
 	if c.quantum < 1 {

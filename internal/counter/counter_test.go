@@ -2,6 +2,8 @@ package counter
 
 import (
 	"math"
+	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -388,5 +390,184 @@ func TestExactAndDeterministicStateRoundTrip(t *testing.T) {
 	wrongK, _ := NewDeterministic(3, 0.1, &m)
 	if err := wrongK.UnmarshalBinary(dd); err == nil {
 		t.Error("deterministic site mismatch accepted")
+	}
+}
+
+// incSpec is a randomly generated increment workload for the property-based
+// suite: k sites, a stream length, an error parameter and a seed that fixes
+// both the site choices and the randomized counter's coin flips.
+type incSpec struct {
+	K    int
+	N    int
+	Eps  float64
+	Seed uint64
+}
+
+// normalize maps arbitrary generated values into a valid, bounded workload.
+func (s incSpec) normalize() incSpec {
+	s.K = 1 + abs(s.K)%12
+	s.N = 500 + abs(s.N)%20000
+	epsChoices := []float64{0.05, 0.1, 0.2, 0.3}
+	s.Eps = epsChoices[int(math.Abs(s.Eps)*1e6)%len(epsChoices)]
+	return s
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// quickCfg makes testing/quick deterministic: generated workloads depend
+// only on this fixed source, so a passing run stays passing.
+func quickCfg(maxCount int) *quick.Config {
+	return &quick.Config{MaxCount: maxCount, Rand: rand.New(rand.NewSource(20260729))}
+}
+
+// TestQuickExactMatchesReferenceSum drives all three counter kinds with the
+// same random increment sequence and checks every Exact() against a plain
+// reference sum — the paper's invariant that approximation never loses
+// increments, only delays their reporting.
+func TestQuickExactMatchesReferenceSum(t *testing.T) {
+	f := func(raw incSpec) bool {
+		s := raw.normalize()
+		var m Metrics
+		rng := bn.NewRNG(s.Seed)
+		h, err := NewHYZ(s.K, s.Eps, 0.25, &m, rng)
+		if err != nil {
+			return false
+		}
+		d, err := NewDeterministic(s.K, s.Eps, &m)
+		if err != nil {
+			return false
+		}
+		e := NewExact(&m)
+		sites := bn.NewRNG(s.Seed ^ 0xabcdef)
+		var ref int64
+		for i := 0; i < s.N; i++ {
+			site := sites.Intn(s.K)
+			h.Inc(site)
+			d.Inc(site)
+			e.Inc(site)
+			ref++
+		}
+		return h.Exact() == ref && d.Exact() == ref && e.Exact() == ref &&
+			e.Estimate() == float64(ref)
+	}
+	if err := quick.Check(f, quickCfg(25)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDeterministicWithinBound checks the deterministic counter's hard
+// error bound on random workloads: within a round opened at exact count
+// `base`, each of the k sites holds back fewer than quantum ≤ ε·base/k + 1
+// unreported increments, so |Estimate - C| ≤ ε·C + k always.
+func TestQuickDeterministicWithinBound(t *testing.T) {
+	f := func(raw incSpec) bool {
+		s := raw.normalize()
+		var m Metrics
+		c, err := NewDeterministic(s.K, s.Eps, &m)
+		if err != nil {
+			return false
+		}
+		sites := bn.NewRNG(s.Seed)
+		for i := 0; i < s.N; i++ {
+			c.Inc(sites.Intn(s.K))
+			diff := math.Abs(c.Estimate() - float64(c.Exact()))
+			if diff > s.Eps*float64(c.Exact())+float64(s.K) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg(25)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickHYZWithinChebyshevBound checks the randomized counter's estimate
+// on random workloads. The guarantee is probabilistic (Var ≤ (εC)², Lemma
+// 4), so the assertion uses a 6·εC Chebyshev envelope plus a small additive
+// slack for the low-count regime; with the fixed quick source the workloads
+// are deterministic, making the test reproducible.
+func TestQuickHYZWithinChebyshevBound(t *testing.T) {
+	f := func(raw incSpec) bool {
+		s := raw.normalize()
+		var m Metrics
+		rng := bn.NewRNG(s.Seed)
+		c, err := NewHYZ(s.K, s.Eps, 0.25, &m, rng)
+		if err != nil {
+			return false
+		}
+		sites := bn.NewRNG(s.Seed ^ 0x5ca1ab1e)
+		for i := 0; i < s.N; i++ {
+			c.Inc(sites.Intn(s.K))
+		}
+		C := float64(c.Exact())
+		return math.Abs(c.Estimate()-C) <= 6*s.Eps*C+float64(2*s.K)
+	}
+	if err := quick.Check(f, quickCfg(25)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMessageSavings: once past the exact phase, any counter kind must
+// use asymptotically fewer messages than the exact strawman on the same
+// workload (the point of the paper).
+func TestQuickMessageSavings(t *testing.T) {
+	f := func(raw incSpec) bool {
+		s := raw.normalize()
+		s.N = 50000 + s.N // long enough that sampling always kicks in
+		var mh, md Metrics
+		rng := bn.NewRNG(s.Seed)
+		h, err := NewHYZ(s.K, s.Eps, 0.25, &mh, rng)
+		if err != nil {
+			return false
+		}
+		d, err := NewDeterministic(s.K, s.Eps, &md)
+		if err != nil {
+			return false
+		}
+		sites := bn.NewRNG(s.Seed ^ 0xfeed)
+		for i := 0; i < s.N; i++ {
+			site := sites.Intn(s.K)
+			h.Inc(site)
+			d.Inc(site)
+		}
+		return mh.Total() < int64(s.N) && md.Total() < int64(s.N)
+	}
+	if err := quick.Check(f, quickCfg(10)); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMetricsSinkConcurrent drives counters that live in different lock
+// stripes but share one Metrics sink from multiple goroutines — the sharded
+// tracker's configuration — and checks no tally is lost. Run under -race
+// this also proves the sink's atomicity.
+func TestMetricsSinkConcurrent(t *testing.T) {
+	const workers, perWorker = 8, 5000
+	var m Metrics
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := NewExact(&m) // each worker owns its counter; the sink is shared
+			for i := 0; i < perWorker; i++ {
+				c.Inc(w)
+			}
+			m.AddCoordToSite(1)
+		}(w)
+	}
+	for i := 0; i < 1000; i++ {
+		_ = m.Snapshot() // concurrent reads must be race-clean
+	}
+	wg.Wait()
+	got := m.Snapshot()
+	if got.SiteToCoord != workers*perWorker || got.CoordToSite != workers {
+		t.Errorf("metrics = %+v, want %d up / %d down", got, workers*perWorker, workers)
 	}
 }

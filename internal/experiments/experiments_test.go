@@ -408,6 +408,9 @@ func TestChartLinearScaleAndConstantSeries(t *testing.T) {
 }
 
 func TestAblationSketch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sketch ablation skipped in -short mode (slowest experiments test under -race)")
+	}
 	p := tinyParams()
 	p.Events = 4000
 	p.Queries = 40

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"distbayes/internal/bn"
 	"distbayes/internal/core"
@@ -112,13 +113,35 @@ func runTracking(s trackingSpec) (*trackingResult, error) {
 
 		exact := trackers[core.ExactMLE]
 		processed := 0
+		// Chunked fan-out: one goroutine per tracker replays the same shared
+		// event slice, so the strategies ingest in parallel while each
+		// tracker still sees the exact sequential event order (results are
+		// bit-identical to feeding the trackers one event at a time). The
+		// chunk's event buffers are allocated once and refilled in place —
+		// wg.Wait guarantees no tracker still reads them.
+		const chunkSize = 2048
+		chunk := make([]core.Event, chunkSize)
+		for i := range chunk {
+			chunk[i].X = make([]int, net.Len())
+		}
 		for ci, target := range s.checkpoints {
 			for processed < target {
-				site, x := training.Next()
-				for _, tr := range trackers {
-					tr.Update(site, x)
+				n := min(chunkSize, target-processed)
+				for j := 0; j < n; j++ {
+					site, x := training.Next()
+					chunk[j].Site = site
+					copy(chunk[j].X, x)
 				}
-				processed++
+				var wg sync.WaitGroup
+				for _, tr := range trackers {
+					wg.Add(1)
+					go func(tr *core.Tracker) {
+						defer wg.Done()
+						tr.UpdateEvents(chunk[:n])
+					}(tr)
+				}
+				wg.Wait()
+				processed += n
 			}
 			for _, st := range all {
 				tr := trackers[st]
