@@ -288,6 +288,126 @@ func BenchmarkParallelIngest(b *testing.B) {
 	}
 }
 
+// loadedTracker builds a tracker over the named network and feeds it events
+// so the query benchmarks measure a realistic counter state.
+func loadedTracker(b *testing.B, name string, events int) (*core.Tracker, *stream.Training) {
+	b.Helper()
+	model, err := netgen.ModelByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := core.NewTracker(model.Network(), core.Config{
+		Strategy: core.NonUniform, Eps: 0.1, Sites: 30, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	training := stream.NewTraining(model, stream.NewUniformAssigner(30, 2), 3)
+	for i := 0; i < events; i++ {
+		site, x := training.Next()
+		tr.Update(site, x)
+	}
+	return tr, training
+}
+
+// BenchmarkQueryProb measures the snapshot-served joint-probability path.
+// "warm" queries a quiesced tracker (cached snapshot, zero lock traffic);
+// "cold" interleaves one update per query — the alternating workload — so
+// it measures the stale-cache mix the tracker actually serves there:
+// per-cell fallback reads for the first staleQueryRebuildThreshold queries
+// after each invalidation, a per-stripe snapshot rebuild on the next.
+func BenchmarkQueryProb(b *testing.B) {
+	b.Run("warm", func(b *testing.B) {
+		tr, _ := loadedTracker(b, "alarm", 20000)
+		q := make([]int, tr.Network().Len())
+		_ = tr.QueryProb(q) // build the snapshot outside the timer
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = tr.QueryProb(q)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		tr, training := loadedTracker(b, "alarm", 20000)
+		q := make([]int, tr.Network().Len())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			site, x := training.Next()
+			tr.Update(site, x)
+			_ = tr.QueryProb(q)
+		}
+	})
+}
+
+// BenchmarkClassify measures Markov-blanket classification off the cached
+// snapshot.
+func BenchmarkClassify(b *testing.B) {
+	tr, training := loadedTracker(b, "alarm", 20000)
+	_, x := training.Next()
+	q := append([]int(nil), x...)
+	_ = tr.Classify(0, q)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tr.Classify(i%len(q), q)
+	}
+}
+
+// BenchmarkEstimatedModel measures the full model snapshot. "warm" re-serves
+// the cached normalized model; "cold" invalidates the counter state each
+// iteration, measuring the batched per-stripe rebuild (the historical
+// implementation paid 2·J_i·K_i lock round-trips per variable here).
+func BenchmarkEstimatedModel(b *testing.B) {
+	b.Run("warm", func(b *testing.B) {
+		tr, _ := loadedTracker(b, "alarm", 20000)
+		if _, err := tr.EstimatedModel(); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := tr.EstimatedModel(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		tr, training := loadedTracker(b, "alarm", 20000)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			site, x := training.Next()
+			tr.Update(site, x)
+			if _, err := tr.EstimatedModel(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkNewTracker measures tracker construction: the flat banks allocate
+// O(1) slices per (variable, kind) instead of one heap object plus two site
+// slices per CPT cell.
+func BenchmarkNewTracker(b *testing.B) {
+	for _, name := range []string{"alarm", "hepar2"} {
+		model, err := netgen.ModelByName(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.NewTracker(model.Network(), core.Config{
+					Strategy: core.NonUniform, Eps: 0.1, Sites: 30, Seed: 1,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkSamplerAlarm(b *testing.B) {
 	model, err := netgen.ModelByName("alarm")
 	if err != nil {

@@ -56,6 +56,20 @@
 // ingestion to be quiesced for a meaningful stream position, as does any
 // out-of-band mutation of Config.CounterFactory counters (e.g. the decay
 // banks' Tick), whose mutation the stripe locks only cover inside Inc.
+//
+// # Storage and query performance
+//
+// Counter state is stored in flat per-variable banks (one contiguous
+// struct-of-arrays per variable and counter kind), so ingestion increments
+// contiguous memory with no per-cell interface dispatch. The structured
+// query paths (QueryProb, QuerySubsetProb, Classify, EstimatedModel,
+// InferMarginal, ClassifyPartial) are served from a cached model snapshot
+// guarded by per-stripe version counters: a query locks each stripe at most
+// once to read whole variable rows (see Tracker.ReadCPDRows and the CPDRows
+// scratch type), and repeated queries between ingest flushes reuse the
+// snapshot without taking any locks. Trackers with a CounterFactory skip
+// the caching (factory counters may change out of band) but keep the
+// batched reads.
 package distbayes
 
 import (
@@ -98,6 +112,10 @@ type (
 	// Event is one (site, observation) pair, the unit of batched and
 	// channel-based ingestion (Tracker.UpdateEvents, Tracker.Ingest).
 	Event = core.Event
+	// CPDRows is caller-owned scratch for Tracker.ReadCPDRows: one
+	// variable's raw pair and parent estimates copied under a single stripe
+	// lock acquisition.
+	CPDRows = core.CPDRows
 )
 
 // Strategies.

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -68,6 +69,9 @@ type Coordinator struct {
 
 	// reported[site][counter] is the site's last reported local count.
 	reported [][]int64
+	// est caches the post-Serve estimate of every counter (see estimates).
+	estOnce sync.Once
+	est     []float64
 
 	frames  atomic.Int64
 	updates atomic.Int64
@@ -268,25 +272,50 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 // adjustment (see layout.go). Only valid after Serve returns.
 func (co *Coordinator) Estimate(id uint32) float64 {
 	eps := co.layout.Eps(id)
+	sqrtK := math.Sqrt(float64(co.cfg.Sites))
 	est := 0.0
 	for site := 0; site < co.cfg.Sites; site++ {
 		r := co.reported[site][id]
-		est += float64(r) + adjustment(co.cfg.Sites, eps, r)
+		est += float64(r) + adjustmentSqrtK(co.cfg.Sites, sqrtK, eps, r)
 	}
 	return est
 }
 
+// estimates materializes every counter's estimate in one site-major pass
+// over the flat reported rows — each site's row is walked sequentially
+// (cache-friendly against the [site][counter] layout) instead of striding
+// across all site rows once per counter as the per-cell Estimate does.
+// Computed once on first use and cached: query entry points are only valid
+// after Serve returns, when the reported state is quiescent.
+func (co *Coordinator) estimates() []float64 {
+	co.estOnce.Do(func() {
+		k := co.cfg.Sites
+		sqrtK := math.Sqrt(float64(k))
+		est := make([]float64, co.layout.NumCounters())
+		for site := 0; site < k; site++ {
+			for c, r := range co.reported[site] {
+				est[c] += float64(r) + adjustmentSqrtK(k, sqrtK, co.layout.Eps(uint32(c)), r)
+			}
+		}
+		co.est = est
+	})
+	return co.est
+}
+
 // QueryProb answers a joint-probability query from the tracked counters
-// (Algorithm 3 over the cluster state). Only valid after Serve returns.
+// (Algorithm 3 over the cluster state), served from the batch-materialized
+// estimate vector — after the one-time site-major pass, each query is pure
+// array lookups. Only valid after Serve returns.
 func (co *Coordinator) QueryProb(x []int) float64 {
+	est := co.estimates()
 	p := 1.0
 	for i := 0; i < co.net.Len(); i++ {
 		pidx := co.net.ParentIndex(i, x)
-		den := co.Estimate(co.layout.ParID(i, pidx))
+		den := est[co.layout.ParID(i, pidx)]
 		if den <= 0 {
 			return 0
 		}
-		p *= co.Estimate(co.layout.PairID(i, x[i], pidx)) / den
+		p *= est[co.layout.PairID(i, x[i], pidx)] / den
 	}
 	return p
 }

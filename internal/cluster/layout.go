@@ -74,6 +74,13 @@ func (l *Layout) Eps(id uint32) float64 { return l.eps[id] }
 // reports with p = min(1, √k/(ε'·k·n)). Exact counters (ε' = 0, the
 // ExactMLE allocation) always report.
 func reportProbLocal(k int, eps float64, localCount int64) float64 {
+	return reportProbSqrtK(k, math.Sqrt(float64(k)), eps, localCount)
+}
+
+// reportProbSqrtK is reportProbLocal with the √k hoisted out, for the
+// per-increment site path and the per-cell coordinator reads (same float
+// operations, so hoisting does not change any report decision).
+func reportProbSqrtK(k int, sqrtK, eps float64, localCount int64) float64 {
 	if eps <= 0 {
 		return 1
 	}
@@ -81,7 +88,7 @@ func reportProbLocal(k int, eps float64, localCount int64) float64 {
 	if global <= 0 {
 		return 1
 	}
-	p := math.Sqrt(float64(k)) / (eps * global)
+	p := sqrtK / (eps * global)
 	if p > 1 {
 		return 1
 	}
@@ -92,9 +99,49 @@ func reportProbLocal(k int, eps float64, localCount int64) float64 {
 // last reported local count is r: the expected number of unreported local
 // increments is (1-p)/p at the report probability in force at count r.
 func adjustment(k int, eps float64, r int64) float64 {
+	return adjustmentSqrtK(k, math.Sqrt(float64(k)), eps, r)
+}
+
+// adjustmentSqrtK is adjustment with the √k hoisted out.
+func adjustmentSqrtK(k int, sqrtK, eps float64, r int64) float64 {
 	if r <= 0 {
 		return 0
 	}
-	p := reportProbLocal(k, eps, r)
+	p := reportProbSqrtK(k, sqrtK, eps, r)
 	return (1 - p) / p
+}
+
+// siteCounters is the flat site-side counter state of one stream processor:
+// every local count in a single dense slice indexed by layout counter id,
+// with the report-probability constants (√k, per-id ε') hoisted out of the
+// per-increment path — the site-side mirror of the coordinator's flat
+// counter banks.
+type siteCounters struct {
+	layout *Layout
+	k      int
+	sqrtK  float64
+	counts []int64
+}
+
+func newSiteCounters(layout *Layout, k int) *siteCounters {
+	return &siteCounters{
+		layout: layout,
+		k:      k,
+		sqrtK:  math.Sqrt(float64(k)),
+		counts: make([]int64, layout.NumCounters()),
+	}
+}
+
+// inc records one local increment for the counter and decides whether the
+// site reports it: always when the report probability is 1 (exact phase or
+// exact counters), otherwise by a coin flip from rng — drawn only in the
+// sampling regime, matching the historical draw order exactly.
+func (s *siteCounters) inc(id uint32, rng *bn.RNG) (localCount int64, report bool) {
+	s.counts[id]++
+	n := s.counts[id]
+	p := reportProbSqrtK(s.k, s.sqrtK, s.layout.Eps(id), n)
+	if p >= 1 || rng.Float64() < p {
+		return n, true
+	}
+	return n, false
 }

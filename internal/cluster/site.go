@@ -87,7 +87,7 @@ func (s *Site) process(c *conn, cfg StartConfig) error {
 	}
 
 	k := int(cfg.Sites)
-	counts := make([]int64, layout.NumCounters())
+	counts := newSiteCounters(layout, k)
 	rng := bn.NewRNG(cfg.StreamSeed ^ (uint64(s.id) * 0x9e3779b97f4a7c15))
 	// The site's share of the stream is the same per-site sub-stream the
 	// in-process parallel engine uses — one shared constructor guards the
@@ -108,10 +108,8 @@ func (s *Site) process(c *conn, cfg StartConfig) error {
 		for i := 0; i < netw.Len(); i++ {
 			pidx := netw.ParentIndex(i, x)
 			for _, id := range [2]uint32{layout.PairID(i, x[i], pidx), layout.ParID(i, pidx)} {
-				counts[id]++
-				p := reportProbLocal(k, layout.Eps(id), counts[id])
-				if p >= 1 || rng.Float64() < p {
-					ups = append(ups, Update{Counter: id, LocalCount: counts[id]})
+				if n, report := counts.inc(id, rng); report {
+					ups = append(ups, Update{Counter: id, LocalCount: n})
 				}
 			}
 		}

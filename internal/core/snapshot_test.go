@@ -1,0 +1,358 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/counter"
+)
+
+// perCellQueryProb recomputes QueryProb through the per-cell reference path
+// (cpdFactor), bypassing the snapshot.
+func perCellQueryProb(t *Tracker, x []int) float64 {
+	p := 1.0
+	for i := 0; i < t.net.Len(); i++ {
+		p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+	}
+	return p
+}
+
+// TestSnapshotMatchesPerCellReference is the bit-equivalence guarantee of
+// the batched read path: under Shards=1, every answer served from
+// ReadCPDRows / the model snapshot must be bit-identical to the historical
+// per-cell cpdFactor reads, for every strategy and with and without
+// smoothing.
+func TestSnapshotMatchesPerCellReference(t *testing.T) {
+	m := testModel(t)
+	net := m.Network()
+	evs := genEventStream(m, 4, 15000, 21)
+	for _, smoothing := range []float64{0, 0.5} {
+		for _, st := range allStrategies {
+			cfg := cfgFor(st, 1)
+			cfg.Smoothing = smoothing
+			tr, err := NewTracker(net, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, ev := range evs {
+				tr.Update(ev.Site, ev.X)
+			}
+
+			// ReadCPDRows vs per-cell raw reads (ExactCount gives the raw
+			// exact path; compare estimates through QueryCPD's smoothing).
+			var rows CPDRows
+			for i := 0; i < net.Len(); i++ {
+				tr.ReadCPDRows(i, &rows)
+				j := net.Card(i)
+				for pidx := 0; pidx < net.ParentCard(i); pidx++ {
+					for v := 0; v < j; v++ {
+						want := tr.cpdFactor(i, v, pidx)
+						got := smoothedFactor(rows.Pair[pidx*j+v], rows.Par[pidx], smoothing, j)
+						if got != want {
+							t.Fatalf("%v s=%v: rows factor (%d,%d,%d) = %v, per-cell %v",
+								st, smoothing, i, v, pidx, got, want)
+						}
+					}
+				}
+			}
+
+			// Snapshot-served entry points vs per-cell recomputation.
+			x := make([]int, net.Len())
+			var rec func(int)
+			rec = func(i int) {
+				if i == net.Len() {
+					if got, want := tr.QueryProb(x), perCellQueryProb(tr, x); got != want {
+						t.Fatalf("%v s=%v: QueryProb(%v) = %v, per-cell %v", st, smoothing, x, got, want)
+					}
+					return
+				}
+				for v := 0; v < net.Card(i); v++ {
+					x[i] = v
+					rec(i + 1)
+				}
+			}
+			rec(0)
+
+			set := net.AncestralClosure([]int{1})
+			q := []int{1, 2, 0}
+			snap := tr.snapshot()
+			want := 1.0
+			for _, i := range set {
+				want *= tr.cpdFactor(i, q[i], net.ParentIndex(i, q))
+			}
+			if got := tr.QuerySubsetProb(set, q); got != want {
+				t.Fatalf("%v: QuerySubsetProb = %v, per-cell %v", st, got, want)
+			}
+			_ = snap
+
+			// EstimatedModel vs normalizing the per-cell factors by hand.
+			est, err := tr.EstimatedModel()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < net.Len(); i++ {
+				j := net.Card(i)
+				for pidx := 0; pidx < net.ParentCard(i); pidx++ {
+					sum := 0.0
+					f := make([]float64, j)
+					for v := 0; v < j; v++ {
+						f[v] = tr.cpdFactor(i, v, pidx)
+						if f[v] < 0 {
+							f[v] = 0
+						}
+						sum += f[v]
+					}
+					for v := 0; v < j; v++ {
+						want := 1 / float64(j)
+						if sum > 0 {
+							want = f[v] / sum
+						}
+						if got := est.CPD(i).P(v, pidx); got != want {
+							t.Fatalf("%v: model CPD(%d,%d,%d) = %v, per-cell %v", st, i, v, pidx, got, want)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSnapshotCachingAndInvalidation checks the version-counter protocol:
+// repeated queries reuse one snapshot, any ingestion path invalidates it,
+// and LoadState drops it.
+func TestSnapshotCachingAndInvalidation(t *testing.T) {
+	m := testModel(t)
+	tr, err := NewTracker(m.Network(), cfgFor(NonUniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEventStream(m, 4, 5000, 5)
+	tr.UpdateEvents(evs[:4000])
+
+	// forceQueries issues enough point queries to pass the stale-query
+	// threshold and trigger a rebuild.
+	q := []int{0, 0, 0}
+	forceQueries := func() {
+		for i := 0; i <= staleQueryRebuildThreshold+1; i++ {
+			_ = tr.QueryProb(q)
+		}
+	}
+	forceQueries()
+	s1 := tr.snap.Load()
+	if s1 == nil {
+		t.Fatal("no snapshot cached after query burst")
+	}
+	_ = tr.Classify(1, []int{0, 0, 0})
+	_ = tr.QueryProb(q)
+	if tr.snap.Load() != s1 {
+		t.Error("idle queries rebuilt the snapshot")
+	}
+	if _, err := tr.EstimatedModel(); err != nil {
+		t.Fatal(err)
+	}
+	m1, _ := tr.EstimatedModel()
+	m2, _ := tr.EstimatedModel()
+	if m1 != m2 {
+		t.Error("EstimatedModel rebuilt between ingest flushes")
+	}
+
+	// Ingestion invalidates: after an update, the first few point queries
+	// serve per-cell (the cached pointer survives but is ignored), and a
+	// burst rebuilds. Answers must reflect the new state immediately.
+	tr.Update(evs[4000].Site, evs[4000].X)
+	first := tr.QueryProb(q)
+	want := perCellQueryProb(tr, q)
+	if first != want {
+		t.Errorf("first post-update query = %v, per-cell %v (stale snapshot served)", first, want)
+	}
+	forceQueries()
+	if tr.snap.Load() == s1 {
+		t.Error("query burst after Update did not rebuild the snapshot")
+	}
+	s2 := tr.snap.Load()
+	tr.UpdateBatch(1, [][]int{evs[4001].X})
+	forceQueries()
+	if tr.snap.Load() == s2 {
+		t.Error("query burst after UpdateBatch did not rebuild the snapshot")
+	}
+
+	// LoadState invalidates: the post-restore query must see restored state.
+	var buf bytes.Buffer
+	if err := tr.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := NewTracker(m.Network(), cfgFor(NonUniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= staleQueryRebuildThreshold+1; i++ {
+		_ = tr2.QueryProb(q) // cache an empty-state snapshot
+	}
+	if tr2.snap.Load() == nil {
+		t.Fatal("no pre-restore snapshot cached")
+	}
+	if err := tr2.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr2.QueryProb(q), tr.QueryProb(q); got != want {
+		t.Errorf("post-LoadState query = %v, want %v (stale snapshot?)", got, want)
+	}
+}
+
+// TestSnapshotStripeGranularity: with several stripes, mutating one stripe's
+// variables must leave the other stripes' cached rows shared with the
+// previous snapshot (pointer equality on the untouched rows).
+func TestSnapshotStripeGranularity(t *testing.T) {
+	m := testModel(t) // 3 variables
+	tr, err := NewTracker(m.Network(), cfgFor(ExactMLE, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEventStream(m, 4, 1000, 9)
+	tr.UpdateEvents(evs)
+	for i := 0; i <= staleQueryRebuildThreshold+1; i++ {
+		_ = tr.QueryProb([]int{0, 0, 0})
+	}
+	s1 := tr.snap.Load()
+	if s1 == nil {
+		t.Fatal("no snapshot cached")
+	}
+	// Bump only stripe 1 (variable 1) by hand-incrementing its bank under
+	// its lock, as an out-of-band single-stripe mutation would.
+	sh := tr.stripeOf(1)
+	sh.mu.Lock()
+	tr.pair[1].Inc(0, 0)
+	tr.par[1].Inc(0, 0)
+	sh.version.Add(1)
+	sh.mu.Unlock()
+
+	for i := 0; i <= staleQueryRebuildThreshold+1; i++ {
+		_ = tr.QueryProb([]int{0, 0, 0})
+	}
+	s2 := tr.snap.Load()
+	if s2 == s1 {
+		t.Fatal("snapshot not rebuilt")
+	}
+	if &s2.factors[0][0] != &s1.factors[0][0] || &s2.factors[2][0] != &s1.factors[2][0] {
+		t.Error("untouched stripes were rebuilt instead of shared")
+	}
+	if &s2.factors[1][0] == &s1.factors[1][0] {
+		t.Error("dirty stripe row was not rebuilt")
+	}
+}
+
+// TestFactorySnapshotNeverCached: CounterFactory counters can be mutated out
+// of band (decay rotation), so their trackers must re-read live state on
+// every query.
+func TestFactorySnapshotNeverCached(t *testing.T) {
+	m := testModel(t)
+	var made []*counter.Exact
+	cfg := cfgFor(ExactMLE, 1)
+	cfg.CounterFactory = func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error) {
+		c := counter.NewExact(metrics)
+		made = append(made, c)
+		return c, nil
+	}
+	tr, err := NewTracker(m.Network(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEventStream(m, 4, 2000, 3)
+	tr.UpdateEvents(evs)
+	q := []int{0, 0, 0}
+	p1 := tr.QueryProb(q)
+	if tr.snap.Load() != nil {
+		t.Fatal("factory tracker cached a snapshot")
+	}
+	// Mutate every factory counter out of band (no version bump) and verify
+	// the next query reflects it.
+	for _, c := range made {
+		c.Inc(0)
+	}
+	p2 := tr.QueryProb(q)
+	if p1 == p2 {
+		t.Error("factory tracker served stale estimates after out-of-band mutation")
+	}
+}
+
+// TestIngestCancelFlushesPending: a canceled Ingest pump must flush events
+// it already took off the channel so the returned count matches the counter
+// state.
+func TestIngestCancelFlushesPending(t *testing.T) {
+	m := testModel(t)
+	tr, err := NewTracker(m.Network(), cfgFor(Uniform, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEventStream(m, 4, 10, 17)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ch := make(chan Event)
+	done := make(chan struct{})
+	var n int64
+	var ierr error
+	go func() {
+		n, ierr = tr.Ingest(ctx, ch)
+		close(done)
+	}()
+	for _, ev := range evs {
+		ch <- ev
+	}
+	cancel() // channel never closed: only cancellation can end the pump
+	<-done
+	if ierr == nil {
+		t.Fatal("Ingest returned nil error on cancellation")
+	}
+	if n != tr.Events() {
+		t.Errorf("Ingest reported %d events but tracker counted %d", n, tr.Events())
+	}
+	if tr.Events() != int64(len(evs)) {
+		t.Errorf("tracker counted %d events, want %d (pending batch dropped?)", tr.Events(), len(evs))
+	}
+}
+
+// TestConcurrentSnapshotQueries hammers the snapshot path from several
+// goroutines while another goroutine ingests — run under -race this proves
+// the copy-on-write publication is clean, and every answer must equal a
+// per-cell read taken at some consistent point (here just checked for
+// validity: probabilities in [0,1]).
+func TestConcurrentSnapshotQueries(t *testing.T) {
+	m := testModel(t)
+	tr, err := NewTracker(m.Network(), cfgFor(NonUniform, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEventStream(m, 4, 6000, 23)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for lo := 0; lo < len(evs); lo += 100 {
+			tr.UpdateEvents(evs[lo:min(lo+100, len(evs))])
+		}
+	}()
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := make([]int, m.Network().Len())
+			for i := 0; i < 300; i++ {
+				p := tr.QueryProb(x)
+				if math.IsNaN(p) || p < 0 || p > 1.0000001 {
+					t.Errorf("QueryProb = %v", p)
+					return
+				}
+				_ = tr.Classify(g%3, x)
+				if _, err := tr.EstimatedModel(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"bufio"
-	"encoding"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -18,8 +17,15 @@ import (
 // built over the same network with the same Config. Restoring and continuing
 // the stream is bit-for-bit identical to never having stopped (see
 // TestCheckpointRoundTripEquivalence).
+//
+// Format DBAYES03: counter state is written as one length-prefixed record
+// per bank (two banks per variable — pair then parent), matching the flat
+// struct-of-arrays storage, instead of DBAYES02's one record per CPT cell.
+// Custom (CounterFactory) banks serialize their cells through the cells' own
+// BinaryMarshaler, so factory counters remain checkpointable iff they
+// implement it.
 
-const stateMagic = "DBAYES02"
+const stateMagic = "DBAYES03"
 
 // fingerprint binds a snapshot to the network shape and the configuration
 // knobs that affect counter state layout (including the stripe count, which
@@ -85,12 +91,8 @@ func (t *Tracker) SaveState(w io.Writer) error {
 			}
 		}
 	}
-	writeCounter := func(c counter.Counter) error {
-		m, ok := c.(encoding.BinaryMarshaler)
-		if !ok {
-			return fmt.Errorf("core: counter %T does not support checkpointing", c)
-		}
-		data, err := m.MarshalBinary()
+	writeBank := func(b *counter.Bank) error {
+		data, err := b.MarshalBinary()
 		if err != nil {
 			return err
 		}
@@ -101,15 +103,11 @@ func (t *Tracker) SaveState(w io.Writer) error {
 		return err
 	}
 	for i := range t.pair {
-		for _, c := range t.pair[i] {
-			if err := writeCounter(c); err != nil {
-				return err
-			}
+		if err := writeBank(t.pair[i]); err != nil {
+			return err
 		}
-		for _, c := range t.par[i] {
-			if err := writeCounter(c); err != nil {
-				return err
-			}
+		if err := writeBank(t.par[i]); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -117,7 +115,8 @@ func (t *Tracker) SaveState(w io.Writer) error {
 
 // LoadState restores a snapshot produced by SaveState. The receiver must
 // have been constructed with NewTracker over the same network and Config
-// (including the same Shards); a fingerprint mismatch is rejected.
+// (including the same Shards); a fingerprint mismatch is rejected. Any
+// cached model snapshot is invalidated.
 func (t *Tracker) LoadState(r io.Reader) error {
 	t.lockAll()
 	defer t.unlockAll()
@@ -164,34 +163,26 @@ func (t *Tracker) LoadState(r io.Reader) error {
 		}
 	}
 
-	readCounter := func(c counter.Counter) error {
-		u, ok := c.(encoding.BinaryUnmarshaler)
-		if !ok {
-			return fmt.Errorf("core: counter %T does not support checkpointing", c)
-		}
+	readBank := func(b *counter.Bank) error {
 		n, err := get()
 		if err != nil {
 			return err
 		}
-		if n > 1<<26 {
-			return fmt.Errorf("core: snapshot counter record of %d bytes", n)
+		if n > 1<<30 {
+			return fmt.Errorf("core: snapshot bank record of %d bytes", n)
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(br, data); err != nil {
 			return err
 		}
-		return u.UnmarshalBinary(data)
+		return b.UnmarshalBinary(data)
 	}
 	for i := range t.pair {
-		for _, c := range t.pair[i] {
-			if err := readCounter(c); err != nil {
-				return err
-			}
+		if err := readBank(t.pair[i]); err != nil {
+			return err
 		}
-		for _, c := range t.par[i] {
-			if err := readCounter(c); err != nil {
-				return err
-			}
+		if err := readBank(t.par[i]); err != nil {
+			return err
 		}
 	}
 	t.events.Store(int64(events))
@@ -199,5 +190,6 @@ func (t *Tracker) LoadState(r io.Reader) error {
 	for s := range t.shards {
 		t.shards[s].rng.SetState(rngStates[s])
 	}
+	t.invalidateSnapshot()
 	return nil
 }

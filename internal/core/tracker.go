@@ -41,7 +41,11 @@ type Config struct {
 	// concurrent-use guarantee extends to factory counters only if all
 	// their mutation happens inside Inc; a factory whose counters are also
 	// mutated out of band (e.g. the decay banks' Tick/rotate) requires
-	// ingestion to be quiesced around those external mutations.
+	// ingestion to be quiesced around those external mutations. Factory
+	// counters live in custom banks with per-cell interface dispatch, and
+	// the tracker disables model-snapshot caching for them (out-of-band
+	// mutation cannot bump the stripe versions), so every query re-reads
+	// the live counters — decayed estimates are always current.
 	CounterFactory func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error)
 	// Shards is the number of lock stripes of the concurrent ingestion
 	// engine. Variable i's counter banks belong to stripe i mod Shards, and
@@ -93,6 +97,12 @@ type Event struct {
 // coordinator-plus-sites simulation; messages are tallied per counter update
 // as in the paper's experiments.
 //
+// Storage model: each variable i owns two flat counter banks
+// (counter.Bank) — the pair bank A_i(x_i, x_i^par) with J_i·K_i cells laid
+// out pidx·J_i + x_i to match bn.CPT, and the parent bank A_i(x_i^par) with
+// K_i cells — so the ingest hot loop is a direct indexed increment on
+// contiguous memory rather than an interface call per CPT cell.
+//
 // Concurrency model: all ingestion entry points (Update, UpdateBatch,
 // UpdateEvents, Ingest) and all query entry points (QueryProb, QueryCPD,
 // Classify, ExactCount, EstimatedModel, ...) are safe to call from multiple
@@ -101,6 +111,21 @@ type Event struct {
 // concurrent updates pipeline across stripes instead of serializing.
 // Concurrent queries must not share mutable arguments — Classify scratches
 // x[target] in the caller's slice, so each goroutine needs its own x.
+//
+// Query model: the structured query paths (QueryProb, QuerySubsetProb,
+// Classify, EstimatedModel, InferMarginal, ClassifyPartial) are served from
+// a cached model snapshot. Every stripe carries a version counter that is
+// bumped under its lock on each mutation; a query revalidates the cached
+// snapshot against the stripe versions and rebuilds only the stripes that
+// changed, locking each such stripe once and reading whole variable rows
+// (ReadCPDRows) instead of taking two lock round-trips per CPT cell.
+// Repeated queries between ingest flushes therefore share one snapshot and
+// acquire no locks at all, while point queries against a stale cache fall
+// back to per-cell reads for a few calls before paying for a rebuild
+// (pointSnapshot), so alternating update/query workloads keep the
+// historical per-cell cost. QueryCPD and ExactCount bypass the snapshot
+// and read single live cells.
+//
 // External quiescence is required only for SaveState/LoadState (stripe
 // locking excludes torn counter reads, but a mid-flight multi-stripe update
 // can be captured half-applied — see SaveState) and for out-of-band
@@ -122,21 +147,34 @@ type Tracker struct {
 	// ascending order, so walks over multiple stripes cannot deadlock.
 	shards []shard
 
-	// pair[i] holds A_i(x_i, x_i^par), laid out pidx*J_i + x_i to match the
-	// CPT layout of bn.CPT. par[i] holds A_i(x_i^par), indexed by pidx.
-	pair [][]counter.Counter
-	par  [][]counter.Counter
+	// pair[i] is the flat bank holding A_i(x_i, x_i^par), cell pidx*J_i+x_i;
+	// par[i] holds A_i(x_i^par), cell pidx.
+	pair []*counter.Bank
+	par  []*counter.Bank
 
 	scratch sync.Pool // *[]int32 parent-index buffers for batched ingestion
+
+	// snap is the last published model snapshot (nil until the first
+	// structured query; never cached for CounterFactory trackers).
+	snap atomic.Pointer[modelSnapshot]
+	// staleQueries counts point queries served per-cell since the cached
+	// snapshot went stale; once it passes staleQueryRebuildThreshold the
+	// next point query rebuilds (see pointSnapshot).
+	staleQueries atomic.Int32
 }
 
 // shard is one lock stripe: a mutex, the stripe-local RNG feeding the
-// randomized counters that live here, and the owned variable indices in
-// ascending order.
+// randomized counters that live here, the owned variable indices in
+// ascending order, and the snapshot-invalidation version.
 type shard struct {
-	mu   sync.Mutex
-	rng  *bn.RNG
-	vars []int
+	mu  sync.Mutex
+	rng *bn.RNG
+	// version counts mutations of this stripe's banks. It is incremented
+	// under mu at the end of every locked mutation section (per-event or
+	// per-chunk) and read with atomic loads by the snapshot validator: a
+	// snapshot built when every stripe version matched is current.
+	version atomic.Uint64
+	vars    []int
 }
 
 // numShards normalizes Config.Shards (0 means 1).
@@ -160,8 +198,8 @@ func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
 		net:   net,
 		cfg:   cfg,
 		alloc: alloc,
-		pair:  make([][]counter.Counter, net.Len()),
-		par:   make([][]counter.Counter, net.Len()),
+		pair:  make([]*counter.Bank, net.Len()),
+		par:   make([]*counter.Bank, net.Len()),
 	}
 	nShards := cfg.numShards()
 	if nShards > net.Len() && net.Len() > 0 {
@@ -180,36 +218,37 @@ func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
 		sh := &t.shards[i%nShards]
 		sh.vars = append(sh.vars, i)
 		j, k := net.Card(i), net.ParentCard(i)
-		t.pair[i] = make([]counter.Counter, j*k)
-		for c := range t.pair[i] {
-			t.pair[i][c], err = t.newCounter(alloc.EpsA[i], sh.rng)
-			if err != nil {
-				return nil, err
-			}
+		t.pair[i], err = t.newBank(j*k, alloc.EpsA[i], sh.rng)
+		if err != nil {
+			return nil, err
 		}
-		t.par[i] = make([]counter.Counter, k)
-		for c := range t.par[i] {
-			t.par[i][c], err = t.newCounter(alloc.EpsB[i], sh.rng)
-			if err != nil {
-				return nil, err
-			}
+		t.par[i], err = t.newBank(k, alloc.EpsB[i], sh.rng)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return t, nil
 }
 
-func (t *Tracker) newCounter(eps float64, rng *bn.RNG) (counter.Counter, error) {
+// newBank builds one variable's counter bank: a flat bank for the built-in
+// protocols, or a custom bank of factory counters when Config.CounterFactory
+// is set. Custom-bank cells are created in ascending cell order, preserving
+// the historical per-cell construction order (and hence any factory-side
+// registration order, e.g. the decay banks').
+func (t *Tracker) newBank(cells int, eps float64, rng *bn.RNG) (*counter.Bank, error) {
 	if t.cfg.CounterFactory != nil {
-		return t.cfg.CounterFactory(eps, &t.metrics, rng)
+		return counter.NewCustomBank(cells, func(int) (counter.Counter, error) {
+			return t.cfg.CounterFactory(eps, &t.metrics, rng)
+		})
 	}
 	if t.cfg.Strategy == ExactMLE {
-		return counter.NewExact(&t.metrics), nil
+		return counter.NewBank(counter.ExactKind, cells, t.cfg.Sites, 0, 0, &t.metrics, nil)
 	}
 	switch t.cfg.Counter {
 	case HYZCounter:
-		return counter.NewHYZ(t.cfg.Sites, eps, t.cfg.Delta, &t.metrics, rng)
+		return counter.NewBank(counter.HYZKind, cells, t.cfg.Sites, eps, t.cfg.Delta, &t.metrics, rng)
 	case DeterministicCounter:
-		return counter.NewDeterministic(t.cfg.Sites, eps, &t.metrics)
+		return counter.NewBank(counter.DeterministicKind, cells, t.cfg.Sites, eps, 0, &t.metrics, nil)
 	default:
 		return nil, fmt.Errorf("core: unknown counter kind %d", t.cfg.Counter)
 	}
@@ -267,14 +306,13 @@ func (t *Tracker) Update(site int, x []int) {
 		sh.mu.Lock()
 		for i := 0; i < t.net.Len(); i++ {
 			pidx := t.net.ParentIndex(i, x)
-			t.pair[i][pidx*t.net.Card(i)+x[i]].Inc(site)
-			t.par[i][pidx].Inc(site)
+			t.pair[i].Inc(pidx*t.net.Card(i)+x[i], site)
+			t.par[i].Inc(pidx, site)
 		}
+		sh.version.Add(1)
 		sh.mu.Unlock()
 	} else {
-		// Multi-stripe: share the batched engine's hoist-then-walk logic
-		// (single-event chunk) so there is one copy of the striping code.
-		t.applyChunk(0, 1, func(int) []int { return x }, func(int) int { return site })
+		t.applyOne(site, x)
 	}
 	t.events.Add(1)
 }
@@ -311,6 +349,29 @@ func (t *Tracker) applyIndexed(m int, xAt func(int) []int, siteAt func(int) int)
 	t.events.Add(int64(m))
 }
 
+// applyOne is applyChunk's single-event fast path: the multi-stripe walk for
+// one observation with the parent indices hoisted out of the locks, without
+// the per-call closure allocations of the generic chunk engine.
+func (t *Tracker) applyOne(site int, x []int) {
+	n := t.net.Len()
+	idx := t.getScratch(n)
+	for i := 0; i < n; i++ {
+		idx[i] = int32(t.net.ParentIndex(i, x))
+	}
+	for s := range t.shards {
+		sh := &t.shards[s]
+		sh.mu.Lock()
+		for _, i := range sh.vars {
+			pidx := int(idx[i])
+			t.pair[i].Inc(pidx*t.net.Card(i)+x[i], site)
+			t.par[i].Inc(pidx, site)
+		}
+		sh.version.Add(1)
+		sh.mu.Unlock()
+	}
+	t.putScratch(idx)
+}
+
 func (t *Tracker) applyChunk(lo, hi int, xAt func(int) []int, siteAt func(int) int) {
 	n := t.net.Len()
 	idx := t.getScratch((hi - lo) * n)
@@ -329,10 +390,11 @@ func (t *Tracker) applyChunk(lo, hi int, xAt func(int) []int, siteAt func(int) i
 			row := idx[(e-lo)*n : (e-lo)*n+n]
 			for _, i := range sh.vars {
 				pidx := int(row[i])
-				t.pair[i][pidx*t.net.Card(i)+x[i]].Inc(site)
-				t.par[i][pidx].Inc(site)
+				t.pair[i].Inc(pidx*t.net.Card(i)+x[i], site)
+				t.par[i].Inc(pidx, site)
 			}
 		}
+		sh.version.Add(1)
 		sh.mu.Unlock()
 	}
 	t.putScratch(idx)
@@ -359,9 +421,12 @@ func (t *Tracker) UpdateEvents(events []Event) {
 // Ingest pumps events from the channel into the tracker until the channel is
 // closed (returning a nil error) or ctx is canceled (returning ctx.Err()).
 // Events are drained opportunistically into batches so a fast producer pays
-// batched-ingestion cost rather than per-event lock traffic. Multiple Ingest
-// pumps may run concurrently on one tracker; the count of events this pump
-// ingested is returned either way.
+// batched-ingestion cost rather than per-event lock traffic. Invariant: the
+// returned count always matches what reached the counters — every receive
+// is followed by a flush before the cancellation check, and the exit paths
+// flush defensively so the invariant survives future restructuring of the
+// drain loop. Multiple Ingest pumps may run concurrently on one tracker;
+// the count of events this pump ingested is returned either way.
 func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -371,6 +436,9 @@ func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error
 	batch := make([]Event, 0, maxBatch)
 	var ingested int64
 	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
 		t.UpdateEvents(batch)
 		ingested += int64(len(batch))
 		batch = batch[:0]
@@ -378,9 +446,11 @@ func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error
 	for {
 		select {
 		case <-done:
+			flush()
 			return ingested, ctx.Err()
 		case ev, ok := <-events:
 			if !ok {
+				flush()
 				return ingested, nil
 			}
 			batch = append(batch, ev)
@@ -405,28 +475,217 @@ func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error
 // cpdFactor returns the tracked estimate of P[x_i = v | parent config pidx],
 // with the configured smoothing. The pair and parent counters are read under
 // their stripe's lock so the ratio is consistent against in-flight updates.
+// It is the per-cell reference path; the structured query entry points go
+// through the batched snapshot instead (see Tracker's type comment).
 func (t *Tracker) cpdFactor(i, v, pidx int) float64 {
 	ji := t.net.Card(i)
 	sh := t.stripeOf(i)
 	sh.mu.Lock()
-	num := t.pair[i][pidx*ji+v].Estimate()
-	den := t.par[i][pidx].Estimate()
+	num := t.pair[i].Estimate(pidx*ji + v)
+	den := t.par[i].Estimate(pidx)
 	sh.mu.Unlock()
-	num += t.cfg.Smoothing
-	den += t.cfg.Smoothing * float64(ji)
+	return smoothedFactor(num, den, t.cfg.Smoothing, ji)
+}
+
+// smoothedFactor is the single definition of the smoothed CPD ratio, shared
+// by the per-cell reference path and the snapshot builder so the two are
+// bit-identical.
+func smoothedFactor(num, den, smoothing float64, ji int) float64 {
+	num += smoothing
+	den += smoothing * float64(ji)
 	if den <= 0 {
 		return 0
 	}
 	return num / den
 }
 
+// CPDRows is caller-owned scratch for ReadCPDRows: one variable's raw
+// (unsmoothed) tracked estimates. Pair is laid out pidx*J_i + v to match
+// bn.CPT; Par is indexed by pidx. Buffers are grown as needed and reused
+// across calls.
+type CPDRows struct {
+	Pair []float64
+	Par  []float64
+}
+
+// ReadCPDRows copies variable i's entire counter state — all J_i·K_i pair
+// estimates and K_i parent estimates — into rows under a single acquisition
+// of i's stripe lock, replacing the 2·J_i·K_i per-cell lock round-trips of
+// the historical query path. The copies are mutually consistent against
+// in-flight updates. Estimates are raw; apply Config.Smoothing downstream
+// as (Pair[c]+s)/(Par[pidx]+s·J_i).
+func (t *Tracker) ReadCPDRows(i int, rows *CPDRows) {
+	j, k := t.net.Card(i), t.net.ParentCard(i)
+	rows.Pair = growFloats(rows.Pair, j*k)
+	rows.Par = growFloats(rows.Par, k)
+	sh := t.stripeOf(i)
+	sh.mu.Lock()
+	t.readRowsLocked(i, rows.Pair, rows.Par)
+	sh.mu.Unlock()
+}
+
+// growFloats returns s resized to n cells, reallocating only when needed.
+func growFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// readRowsLocked copies variable i's raw estimates into pair (len J_i·K_i)
+// and par (len K_i). Callers must hold i's stripe lock.
+func (t *Tracker) readRowsLocked(i int, pair, par []float64) {
+	pb, qb := t.pair[i], t.par[i]
+	for c := range pair {
+		pair[c] = pb.Estimate(c)
+	}
+	for c := range par {
+		par[c] = qb.Estimate(c)
+	}
+}
+
+// modelSnapshot is one consistent-enough view of every CPD factor, built by
+// batched per-stripe reads and shared by the structured query paths.
+//
+// Invalidation rules: factors[i] holds the smoothed factor of every cell of
+// variable i, read under i's stripe lock together with that stripe's
+// version. A snapshot is current while every stripe's live version equals
+// the recorded one; any mutation bumps its stripe's version (under the
+// stripe lock), so the next query rebuilds exactly the stripes that
+// changed, reusing the rows of unchanged stripes. Published snapshots are
+// immutable. Like the historical per-cell query path, a snapshot taken
+// while a multi-stripe update is mid-flight may see earlier stripes
+// post-event and later stripes pre-event; quiesce ingestion for a
+// stream-position-exact view.
+type modelSnapshot struct {
+	// versions[s] is shards[s].version at the time stripe s's rows were
+	// read (or inherited from the previous snapshot).
+	versions []uint64
+	// factors[i][pidx*J_i+v] is the smoothed cpdFactor value.
+	factors [][]float64
+	// model caches the normalized bn.Model built from factors
+	// (EstimatedModel), populated lazily at most once per snapshot.
+	model atomic.Pointer[bn.Model]
+}
+
+// snapFresh reports whether snap matches every stripe's live version.
+func (t *Tracker) snapFresh(snap *modelSnapshot) bool {
+	for s := range t.shards {
+		if snap.versions[s] != t.shards[s].version.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// staleQueryRebuildThreshold is how many point queries are served through
+// the per-cell path after the cached snapshot goes stale before the next
+// one pays for a rebuild. A rebuild reads every CPT cell while a point
+// query reads ~2n, so alternating update/query workloads should keep the
+// cheap per-cell cost, while a burst of queries against one training state
+// quickly converges to the zero-lock cached snapshot.
+const staleQueryRebuildThreshold = 3
+
+// pointSnapshot returns the snapshot a point query (QueryProb,
+// QuerySubsetProb, Classify) should read, or nil when the query should fall
+// back to per-cell cpdFactor reads: always for CounterFactory trackers
+// (their counters can change out of band, so a cache would go stale
+// silently and a per-query rebuild would read far more cells than the query
+// touches), and for the first few queries after the cached snapshot goes
+// stale (see staleQueryRebuildThreshold). Both paths produce bit-identical
+// answers.
+func (t *Tracker) pointSnapshot() *modelSnapshot {
+	if t.cfg.CounterFactory != nil {
+		return nil
+	}
+	if old := t.snap.Load(); old != nil && t.snapFresh(old) {
+		return old
+	}
+	if t.staleQueries.Add(1) <= staleQueryRebuildThreshold {
+		return nil
+	}
+	return t.snapshot()
+}
+
+// snapshot returns a current model snapshot, rebuilding only stripes whose
+// version moved since the cached one was built. CounterFactory trackers
+// always rebuild in full and never cache: factory counters may be mutated
+// out of band (decay rotation), which the stripe versions cannot see.
+func (t *Tracker) snapshot() *modelSnapshot {
+	cacheable := t.cfg.CounterFactory == nil
+	var old *modelSnapshot
+	if cacheable {
+		if old = t.snap.Load(); old != nil && t.snapFresh(old) {
+			return old
+		}
+	}
+	ns := &modelSnapshot{
+		versions: make([]uint64, len(t.shards)),
+		factors:  make([][]float64, t.net.Len()),
+	}
+	var par []float64 // parent-row scratch shared across variables
+	for s := range t.shards {
+		sh := &t.shards[s]
+		if old != nil {
+			if v := sh.version.Load(); v == old.versions[s] {
+				// Stripe unchanged since the cached snapshot: inherit its
+				// immutable rows. (A concurrent mutation after the load is
+				// caught by the next query's revalidation.)
+				for _, i := range sh.vars {
+					ns.factors[i] = old.factors[i]
+				}
+				ns.versions[s] = v
+				continue
+			}
+		}
+		sh.mu.Lock()
+		for _, i := range sh.vars {
+			j, k := t.net.Card(i), t.net.ParentCard(i)
+			row := make([]float64, j*k)
+			par = growFloats(par, k)
+			t.readRowsLocked(i, row, par)
+			for pidx := 0; pidx < k; pidx++ {
+				den := par[pidx]
+				for v := 0; v < j; v++ {
+					c := pidx*j + v
+					row[c] = smoothedFactor(row[c], den, t.cfg.Smoothing, j)
+				}
+			}
+			ns.factors[i] = row
+		}
+		ns.versions[s] = sh.version.Load() // under mu: stable
+		sh.mu.Unlock()
+	}
+	if cacheable {
+		t.snap.Store(ns)
+		t.staleQueries.Store(0)
+	}
+	return ns
+}
+
+// invalidateSnapshot drops the cached snapshot and bumps every stripe
+// version so in-flight revalidations miss (used by LoadState).
+func (t *Tracker) invalidateSnapshot() {
+	for s := range t.shards {
+		t.shards[s].version.Add(1)
+	}
+	t.snap.Store(nil)
+}
+
 // QueryProb answers a joint-probability query for the full assignment x
 // (Algorithm 3): Π_i A_i(x_i, x_i^par) / A_i(x_i^par). With no smoothing and
-// an unseen parent configuration the result is 0.
+// an unseen parent configuration the result is 0. Served from the cached
+// model snapshot when one is current, per-cell otherwise (see Tracker's
+// type comment and pointSnapshot); both paths are bit-identical.
 func (t *Tracker) QueryProb(x []int) float64 {
+	snap := t.pointSnapshot()
 	p := 1.0
 	for i := 0; i < t.net.Len(); i++ {
-		p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+		if snap != nil {
+			p *= snap.factors[i][t.net.ParentIndex(i, x)*t.net.Card(i)+x[i]]
+		} else {
+			p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+		}
 	}
 	return p
 }
@@ -435,31 +694,46 @@ func (t *Tracker) QueryProb(x []int) float64 {
 // ancestrally closed variable set (see bn.Network.AncestralClosure), which
 // factorizes exactly over the member CPDs.
 func (t *Tracker) QuerySubsetProb(set []int, x []int) float64 {
+	snap := t.pointSnapshot()
 	p := 1.0
 	for _, i := range set {
-		p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+		if snap != nil {
+			p *= snap.factors[i][t.net.ParentIndex(i, x)*t.net.Card(i)+x[i]]
+		} else {
+			p *= t.cpdFactor(i, x[i], t.net.ParentIndex(i, x))
+		}
 	}
 	return p
 }
 
-// QueryCPD estimates the single CPD entry P[X_i = v | parent config pidx].
+// QueryCPD estimates the single CPD entry P[X_i = v | parent config pidx]
+// with a live per-cell read (no snapshot involved).
 func (t *Tracker) QueryCPD(i, v, pidx int) float64 { return t.cpdFactor(i, v, pidx) }
 
 // Classify returns argmax_y of the tracked P[X_target = y | x_{-target}]
 // (the approximate Bayesian classification of Definition 4). Only the
-// factors in the target's Markov blanket are scanned. Ties break toward the
-// smaller value. The scratch cell x[target] is restored before returning,
-// so concurrent callers must each pass their own x slice.
+// factors in the target's Markov blanket are scanned, all read from one
+// model snapshot. Ties break toward the smaller value. The scratch cell
+// x[target] is restored before returning, so concurrent callers must each
+// pass their own x slice.
 func (t *Tracker) Classify(target int, x []int) int {
+	snap := t.pointSnapshot()
 	saved := x[target]
 	defer func() { x[target] = saved }()
 
+	factor := func(i, v int) float64 {
+		pidx := t.net.ParentIndex(i, x)
+		if snap != nil {
+			return snap.factors[i][pidx*t.net.Card(i)+v]
+		}
+		return t.cpdFactor(i, v, pidx)
+	}
 	best, bestScore := 0, math.Inf(-1)
 	for y := 0; y < t.net.Card(target); y++ {
 		x[target] = y
-		score := logOrNegInf(t.cpdFactor(target, y, t.net.ParentIndex(target, x)))
+		score := logOrNegInf(factor(target, y))
 		for _, c := range t.net.Children(target) {
-			score += logOrNegInf(t.cpdFactor(c, x[c], t.net.ParentIndex(c, x)))
+			score += logOrNegInf(factor(c, x[c]))
 		}
 		if score > bestScore {
 			best, bestScore = y, score
@@ -478,20 +752,26 @@ func logOrNegInf(p float64) float64 {
 // EstimatedModel snapshots the tracked parameters into a bn.Model. Rows whose
 // parent configuration has no mass become uniform. The snapshot normalizes
 // each row (tracked ratios need not sum to exactly 1 under approximation).
+// The model is built at most once per counter-state snapshot and shared by
+// subsequent calls (and by InferMarginal/ClassifyPartial) until ingestion
+// advances; treat it as read-only.
 func (t *Tracker) EstimatedModel() (*bn.Model, error) {
+	snap := t.snapshot()
+	if m := snap.model.Load(); m != nil {
+		return m, nil
+	}
 	cpds := make([]*bn.CPT, t.net.Len())
 	for i := 0; i < t.net.Len(); i++ {
 		j, k := t.net.Card(i), t.net.ParentCard(i)
 		tbl := make([]float64, j*k)
+		copy(tbl, snap.factors[i])
 		for pidx := 0; pidx < k; pidx++ {
 			sum := 0.0
 			for v := 0; v < j; v++ {
-				f := t.cpdFactor(i, v, pidx)
-				if f < 0 {
-					f = 0
+				if tbl[pidx*j+v] < 0 {
+					tbl[pidx*j+v] = 0
 				}
-				tbl[pidx*j+v] = f
-				sum += f
+				sum += tbl[pidx*j+v]
 			}
 			if sum <= 0 {
 				for v := 0; v < j; v++ {
@@ -509,7 +789,12 @@ func (t *Tracker) EstimatedModel() (*bn.Model, error) {
 			return nil, fmt.Errorf("core: snapshot CPD %d: %w", i, err)
 		}
 	}
-	return bn.NewModel(t.net, cpds)
+	m, err := bn.NewModel(t.net, cpds)
+	if err != nil {
+		return nil, err
+	}
+	snap.model.Store(m)
+	return m, nil
 }
 
 // ExactCount returns the true (not estimated) pair and parent counts for a
@@ -519,14 +804,15 @@ func (t *Tracker) ExactCount(i, v, pidx int) (pairCount, parCount int64) {
 	sh := t.stripeOf(i)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	return t.pair[i][pidx*t.net.Card(i)+v].Exact(), t.par[i][pidx].Exact()
+	return t.pair[i].Exact(pidx*t.net.Card(i) + v), t.par[i].Exact(pidx)
 }
 
 // InferMarginal answers an arbitrary marginal query P[assign] against the
 // tracked model by snapshotting the current parameters (EstimatedModel) and
-// running exact variable-elimination inference. The snapshot is rebuilt per
-// call; cache the EstimatedModel directly when issuing many queries against
-// the same training state.
+// running exact variable-elimination inference. The snapshot — including
+// the normalized model — is cached between ingest flushes, so issuing many
+// marginal queries against the same training state no longer rebuilds the
+// model per call.
 func (t *Tracker) InferMarginal(assign map[int]int) (float64, error) {
 	m, err := t.EstimatedModel()
 	if err != nil {

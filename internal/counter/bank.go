@@ -1,0 +1,366 @@
+package counter
+
+import (
+	"fmt"
+	"math"
+
+	"distbayes/internal/bn"
+)
+
+// This file implements flat counter banks: the struct-of-arrays storage
+// behind every distributed counter in the tracker's hot path.
+//
+// # Memory layout
+//
+// A Bank holds the state of `cells` logical counters of one Kind that share
+// a site count k, an error parameter eps, a metrics sink and (for the
+// randomized kind) an RNG. Instead of one heap object per counter, all
+// per-cell scalars live in parallel slices indexed by cell —
+//
+//	total[cell], sampling[cell], base[cell], pThresh[cell], adj[cell],
+//	estSum[cell], nReporters[cell], quantum[cell], reported[cell]
+//
+// — and the per-site round state lives in single backing slices indexed by
+// cell*k + site:
+//
+//	d[cell*k+site]        HYZ: in-round local increments
+//	r[cell*k+site]        HYZ: last reported in-round delta
+//	pending[cell*k+site]  Deterministic: unreported local increments
+//
+// The Inc(cell, site) hot path is therefore a direct method call on
+// contiguous memory — no interface dispatch, no pointer chase through
+// per-cell objects — and a whole bank costs O(1) allocations instead of
+// O(cells).
+//
+// The per-cell protocol logic is an exact port of the historical per-cell
+// counters (HYZ, Deterministic, Exact below, which are now thin one-cell
+// views over a Bank): same branch structure, same RNG draw order, same
+// message tallies. A sequence of Inc calls against a bank is bit-identical
+// to the same sequence against individually allocated counters sharing the
+// same RNG, which is what preserves the tracker's Shards=1 reproducibility
+// guarantee across the flat-layout refactor.
+//
+// # Custom cells
+//
+// A bank built with NewCustomBank stores one Counter interface value per
+// cell instead of flat state. This is the extension point used by
+// core.Config.CounterFactory (e.g. the time-decayed counters of
+// internal/decay): the tracker drives every bank through the same
+// Inc/Estimate/Exact indexed API, and custom banks forward to the per-cell
+// objects.
+
+// Kind selects the distributed-counter protocol of a Bank's cells.
+type Kind uint8
+
+const (
+	// ExactKind forwards every increment to the coordinator (Lemma 5).
+	ExactKind Kind = iota
+	// HYZKind is the randomized counter of Lemma 4 (the paper's choice).
+	HYZKind
+	// DeterministicKind is the classical O(k/ε·log T) threshold counter.
+	DeterministicKind
+	// customKind marks a bank whose cells are caller-supplied Counter
+	// values (NewCustomBank).
+	customKind
+)
+
+// Bank is a flat struct-of-arrays bank of `cells` distributed counters that
+// share one protocol kind, site count, error parameter, metrics sink and
+// RNG. All methods taking a cell index expect 0 ≤ cell < Cells(); like a
+// slice index, an out-of-range cell panics.
+//
+// A Bank is not safe for concurrent use; in the tracker every bank belongs
+// to exactly one lock stripe.
+type Bank struct {
+	kind    Kind
+	k       int
+	cells   int
+	eps     float64
+	metrics *Metrics
+	rng     *bn.RNG
+
+	// exactThresh caches ExactThreshold(k, eps) for the HYZ kind so the
+	// exact-mode hot path does not recompute a sqrt per increment.
+	exactThresh int64
+
+	total []int64
+
+	// Round state shared by the sampling kinds (nil for ExactKind).
+	sampling []bool
+	base     []int64
+
+	// HYZ state.
+	pThresh    []uint64
+	adj        []float64
+	estSum     []int64
+	nReporters []int32
+	d, r       []int64 // cell*k + site
+
+	// Deterministic state.
+	quantum  []int64
+	reported []int64
+	pending  []int64 // cell*k + site
+
+	// custom is non-nil iff kind == customKind.
+	custom []Counter
+}
+
+// NewBank creates a bank of cells counters of the given kind over k sites
+// with error parameter eps, tallying messages into metrics. rng feeds the
+// randomized kind and may be shared with other banks driven under the same
+// lock; it is ignored by the other kinds. delta is accepted for interface
+// fidelity with DistCounter(ε, δ) and unused (see the HYZ type comment).
+func NewBank(kind Kind, cells, k int, eps, delta float64, metrics *Metrics, rng *bn.RNG) (*Bank, error) {
+	_ = delta
+	if cells < 0 {
+		return nil, fmt.Errorf("counter: bank cells = %d, want >= 0", cells)
+	}
+	if metrics == nil {
+		return nil, fmt.Errorf("counter: bank needs a metrics sink")
+	}
+	b := &Bank{kind: kind, k: k, cells: cells, eps: eps, metrics: metrics, rng: rng}
+	switch kind {
+	case ExactKind:
+		if k < 1 {
+			return nil, fmt.Errorf("counter: need at least one site, got %d", k)
+		}
+		b.total = make([]int64, cells)
+	case HYZKind:
+		if err := validate(k, eps); err != nil {
+			return nil, err
+		}
+		if rng == nil {
+			return nil, fmt.Errorf("counter: randomized bank needs an RNG")
+		}
+		b.exactThresh = ExactThreshold(k, eps)
+		b.total = make([]int64, cells)
+		b.sampling = make([]bool, cells)
+		b.base = make([]int64, cells)
+		b.pThresh = make([]uint64, cells)
+		b.adj = make([]float64, cells)
+		b.estSum = make([]int64, cells)
+		b.nReporters = make([]int32, cells)
+		// One contiguous slab for both per-site planes keeps the d/r pair
+		// of a cell on adjacent cache lines.
+		slab := make([]int64, 2*cells*k)
+		b.d, b.r = slab[:cells*k:cells*k], slab[cells*k:]
+	case DeterministicKind:
+		if err := validate(k, eps); err != nil {
+			return nil, err
+		}
+		b.total = make([]int64, cells)
+		b.sampling = make([]bool, cells)
+		b.base = make([]int64, cells)
+		b.quantum = make([]int64, cells)
+		b.reported = make([]int64, cells)
+		b.pending = make([]int64, cells*k)
+	default:
+		return nil, fmt.Errorf("counter: unknown bank kind %d", kind)
+	}
+	return b, nil
+}
+
+// NewCustomBank creates a bank whose cells are caller-supplied Counter
+// values, built by calling newCell once per cell in ascending order. It is
+// the Config.CounterFactory extension point: custom banks keep per-cell
+// interface dispatch but present the same indexed API as flat banks.
+func NewCustomBank(cells int, newCell func(cell int) (Counter, error)) (*Bank, error) {
+	if cells < 0 {
+		return nil, fmt.Errorf("counter: bank cells = %d, want >= 0", cells)
+	}
+	b := &Bank{kind: customKind, cells: cells, custom: make([]Counter, cells)}
+	for c := 0; c < cells; c++ {
+		cc, err := newCell(c)
+		if err != nil {
+			return nil, err
+		}
+		if cc == nil {
+			return nil, fmt.Errorf("counter: nil custom counter for cell %d", c)
+		}
+		b.custom[c] = cc
+	}
+	return b, nil
+}
+
+// Cells returns the number of counters in the bank.
+func (b *Bank) Cells() int { return b.cells }
+
+// Inc records one increment for cell observed at site. This is the
+// tracker's ingest hot path: for the built-in kinds it runs devirtualized
+// on the bank's flat state.
+func (b *Bank) Inc(cell, site int) {
+	switch b.kind {
+	case ExactKind:
+		b.total[cell]++
+		b.metrics.AddSiteToCoord(1)
+	case HYZKind:
+		b.incHYZ(cell, site)
+	case DeterministicKind:
+		b.incDet(cell, site)
+	default:
+		b.custom[cell].Inc(site)
+	}
+}
+
+// Estimate returns the coordinator's current estimate of cell's count.
+func (b *Bank) Estimate(cell int) float64 {
+	switch b.kind {
+	case ExactKind:
+		return float64(b.total[cell])
+	case HYZKind:
+		if !b.sampling[cell] {
+			return float64(b.total[cell])
+		}
+		return float64(b.base[cell]) + b.inRoundEstimate(cell)
+	case DeterministicKind:
+		if !b.sampling[cell] {
+			return float64(b.total[cell])
+		}
+		return float64(b.base[cell] + b.reported[cell])
+	default:
+		return b.custom[cell].Estimate()
+	}
+}
+
+// Exact returns cell's true count (evaluation only).
+func (b *Bank) Exact(cell int) int64 {
+	if b.kind == customKind {
+		return b.custom[cell].Exact()
+	}
+	return b.total[cell]
+}
+
+// Cell returns a Counter view of one cell: the thin per-cell adapter that
+// keeps the historical interface working over the flat layout. For custom
+// banks it returns the underlying counter itself.
+func (b *Bank) Cell(cell int) Counter {
+	if b.kind == customKind {
+		return b.custom[cell]
+	}
+	if cell < 0 || cell >= b.cells {
+		panic(fmt.Sprintf("counter: cell %d out of range [0,%d)", cell, b.cells))
+	}
+	return cellView{b: b, cell: cell}
+}
+
+// cellView adapts one bank cell to the Counter interface.
+type cellView struct {
+	b    *Bank
+	cell int
+}
+
+func (v cellView) Inc(site int)      { v.b.Inc(v.cell, site) }
+func (v cellView) Estimate() float64 { return v.b.Estimate(v.cell) }
+func (v cellView) Exact() int64      { return v.b.Exact(v.cell) }
+
+// --- HYZ protocol on flat state (see the HYZ type comment for the math) ---
+
+func (b *Bank) incHYZ(cell, site int) {
+	b.total[cell]++
+	if !b.sampling[cell] {
+		// Exact mode: forward every increment.
+		b.metrics.AddSiteToCoord(1)
+		if b.total[cell] >= b.exactThresh {
+			b.openRoundHYZ(cell)
+		}
+		return
+	}
+	b.d[cell*b.k+site]++
+	if b.rng.Uint64() < b.pThresh[cell] {
+		b.reportHYZ(cell, site)
+	}
+}
+
+// reportHYZ delivers site's current in-round delta to the coordinator and
+// advances the round if the in-round estimate shows the count has doubled.
+func (b *Bank) reportHYZ(cell, site int) {
+	b.metrics.AddSiteToCoord(1)
+	idx := cell*b.k + site
+	if b.r[idx] == 0 {
+		b.nReporters[cell]++
+	}
+	b.estSum[cell] += b.d[idx] - b.r[idx]
+	b.r[idx] = b.d[idx]
+	if b.inRoundEstimate(cell) >= float64(b.base[cell]) {
+		b.openRoundHYZ(cell)
+	}
+}
+
+// openRoundHYZ synchronizes all sites (k reports + k broadcasts) and resets
+// the cell's in-round state with a new report probability.
+func (b *Bank) openRoundHYZ(cell int) {
+	b.sampling[cell] = true
+	b.metrics.AddSiteToCoord(int64(b.k))
+	b.metrics.AddCoordToSite(int64(b.k))
+
+	b.base[cell] = b.total[cell]
+	b.setRoundParams(cell, ReportProb(b.k, b.eps, b.base[cell]))
+	lo := cell * b.k
+	for i := lo; i < lo+b.k; i++ {
+		b.d[i] = 0
+		b.r[i] = 0
+	}
+	b.estSum[cell] = 0
+	b.nReporters[cell] = 0
+}
+
+// setRoundParams installs the derived sampling parameters for a round run at
+// report probability p.
+func (b *Bank) setRoundParams(cell int, p float64) {
+	if p >= 1 {
+		b.pThresh[cell] = math.MaxUint64
+		b.adj[cell] = 0
+	} else {
+		b.pThresh[cell] = uint64(p * math.MaxUint64)
+		b.adj[cell] = (1 - p) / p
+	}
+}
+
+// inRoundEstimate is the coordinator's estimate of cell's increments since
+// the round opened.
+func (b *Bank) inRoundEstimate(cell int) float64 {
+	return float64(b.estSum[cell]) + float64(b.nReporters[cell])*b.adj[cell]
+}
+
+// --- deterministic threshold protocol on flat state ---
+
+func (b *Bank) incDet(cell, site int) {
+	b.total[cell]++
+	if !b.sampling[cell] {
+		b.metrics.AddSiteToCoord(1)
+		// Exact until a quantum of at least 2 is worthwhile. Computed per
+		// increment (not cached) to stay bit-identical to the historical
+		// per-cell counter, whose threshold depends on the running total.
+		if q := int64(math.Ceil(b.eps * float64(b.total[cell]) / float64(b.k))); q >= 2 {
+			b.openRoundDet(cell)
+		}
+		return
+	}
+	idx := cell*b.k + site
+	b.pending[idx]++
+	if b.pending[idx] >= b.quantum[cell] {
+		b.metrics.AddSiteToCoord(1)
+		b.reported[cell] += b.pending[idx]
+		b.pending[idx] = 0
+		if b.reported[cell] >= b.base[cell] {
+			b.openRoundDet(cell)
+		}
+	}
+}
+
+func (b *Bank) openRoundDet(cell int) {
+	b.sampling[cell] = true
+	b.metrics.AddSiteToCoord(int64(b.k))
+	b.metrics.AddCoordToSite(int64(b.k))
+	b.base[cell] = b.total[cell]
+	q := int64(math.Ceil(b.eps * float64(b.base[cell]) / float64(b.k)))
+	if q < 1 {
+		q = 1
+	}
+	b.quantum[cell] = q
+	lo := cell * b.k
+	for i := lo; i < lo+b.k; i++ {
+		b.pending[i] = 0
+	}
+	b.reported[cell] = 0
+}

@@ -15,6 +15,13 @@
 // coordinator-side state live in one struct and "messages" are tallied in a
 // shared Metrics sink. The live TCP implementation in internal/cluster uses
 // the same schedule helpers (ReportProb, ExactThreshold) with real messages.
+//
+// Storage comes in two shapes: Bank is a flat struct-of-arrays bank of many
+// counters sharing one configuration (the tracker's hot path — see bank.go
+// for the layout), and the standalone types above are thin one-cell views
+// over a Bank kept for single-counter uses (decay sub-counters, tests,
+// benchmarks) and as the Counter interface implementation behind the
+// CounterFactory extension point.
 package counter
 
 import (
@@ -148,7 +155,9 @@ func validate(k int, eps float64) error {
 	return nil
 }
 
-// HYZ is the randomized distributed counter of Lemma 4.
+// HYZ is the randomized distributed counter of Lemma 4, exposed as a thin
+// one-cell view over a flat Bank (see bank.go for the storage layout; the
+// protocol logic lives there once, shared with multi-cell banks).
 //
 // Protocol: while the count is below ExactThreshold the counter is exact.
 // Afterwards, execution is divided into rounds. A round opens with a
@@ -165,23 +174,7 @@ func validate(k int, eps float64) error {
 // for fidelity but not used: as in the paper's experiments a single instance
 // is run, the median-of-O(log 1/δ) amplification being analysis only.
 type HYZ struct {
-	eps     float64
-	k       int
-	metrics *Metrics
-	rng     *bn.RNG
-
-	total int64 // true global count (all modes)
-
-	sampling bool  // false while in exact mode
-	base     int64 // exact count at round start
-	p        float64
-	pThresh  uint64  // report if rng.Uint64() < pThresh
-	adj      float64 // (1-p)/p
-
-	d          []int64 // site state: in-round local increments
-	r          []int64 // coordinator state: last reported in-round delta
-	estSum     int64   // Σ r[i]
-	nReporters int     // number of sites with r[i] > 0
+	b *Bank
 }
 
 // NewHYZ creates a randomized counter over k sites with error parameter eps,
@@ -190,180 +183,50 @@ type HYZ struct {
 // argument is accepted for interface fidelity with DistCounter(ε, δ) and is
 // unused (see type comment).
 func NewHYZ(k int, eps, delta float64, metrics *Metrics, rng *bn.RNG) (*HYZ, error) {
-	if err := validate(k, eps); err != nil {
+	b, err := NewBank(HYZKind, 1, k, eps, delta, metrics, rng)
+	if err != nil {
 		return nil, err
 	}
-	_ = delta
-	return &HYZ{
-		eps:     eps,
-		k:       k,
-		metrics: metrics,
-		rng:     rng,
-		d:       make([]int64, k),
-		r:       make([]int64, k),
-	}, nil
+	return &HYZ{b: b}, nil
 }
 
 // Inc implements Counter.
-func (c *HYZ) Inc(site int) {
-	c.total++
-	if !c.sampling {
-		// Exact mode: forward every increment.
-		c.metrics.AddSiteToCoord(1)
-		if c.total >= ExactThreshold(c.k, c.eps) {
-			c.openRound()
-		}
-		return
-	}
-	c.d[site]++
-	if c.rng.Uint64() < c.pThresh {
-		c.report(site)
-	}
-}
-
-// report delivers site's current in-round delta to the coordinator and
-// advances the round if the in-round estimate shows the count has doubled.
-func (c *HYZ) report(site int) {
-	c.metrics.AddSiteToCoord(1)
-	if c.r[site] == 0 {
-		c.nReporters++
-	}
-	c.estSum += c.d[site] - c.r[site]
-	c.r[site] = c.d[site]
-	if c.inRoundEstimate() >= float64(c.base) {
-		c.openRound()
-	}
-}
-
-// openRound synchronizes all sites (k reports + k broadcasts) and resets the
-// in-round state with a new report probability.
-func (c *HYZ) openRound() {
-	if c.sampling {
-		// Synchronization traffic; the very first transition out of exact
-		// mode needs only the broadcast because the coordinator is already
-		// exact, but we charge the general cost there too for simplicity of
-		// the cluster protocol (it re-polls all sites).
-		c.metrics.AddSiteToCoord(int64(c.k))
-	} else {
-		c.sampling = true
-		c.metrics.AddSiteToCoord(int64(c.k))
-	}
-	c.metrics.AddCoordToSite(int64(c.k))
-
-	c.base = c.total
-	c.p = ReportProb(c.k, c.eps, c.base)
-	if c.p >= 1 {
-		c.pThresh = math.MaxUint64
-		c.adj = 0
-	} else {
-		c.pThresh = uint64(c.p * math.MaxUint64)
-		c.adj = (1 - c.p) / c.p
-	}
-	for i := range c.d {
-		c.d[i] = 0
-		c.r[i] = 0
-	}
-	c.estSum = 0
-	c.nReporters = 0
-}
-
-// inRoundEstimate is the coordinator's estimate of increments since the round
-// opened.
-func (c *HYZ) inRoundEstimate() float64 {
-	return float64(c.estSum) + float64(c.nReporters)*c.adj
-}
+func (c *HYZ) Inc(site int) { c.b.incHYZ(0, site) }
 
 // Estimate implements Counter.
-func (c *HYZ) Estimate() float64 {
-	if !c.sampling {
-		return float64(c.total)
-	}
-	return float64(c.base) + c.inRoundEstimate()
-}
+func (c *HYZ) Estimate() float64 { return c.b.Estimate(0) }
 
 // Exact implements Counter.
-func (c *HYZ) Exact() int64 { return c.total }
+func (c *HYZ) Exact() int64 { return c.b.total[0] }
 
 // Eps returns the error parameter the counter was configured with.
-func (c *HYZ) Eps() float64 { return c.eps }
+func (c *HYZ) Eps() float64 { return c.b.eps }
 
 // Deterministic is the classical deterministic threshold counter, kept as an
 // ablation baseline against HYZ: within a round opened at exact count base,
 // each site reports once every q = max(1, ⌈ε·base/k⌉) local increments, so
 // the coordinator's estimate is within ε·base ≤ ε·C of the truth, at a cost
-// of O(k/ε) messages per round and O(k/ε · log T) messages overall.
+// of O(k/ε) messages per round and O(k/ε · log T) messages overall. Like
+// HYZ, it is a one-cell view over a flat Bank.
 type Deterministic struct {
-	eps     float64
-	k       int
-	metrics *Metrics
-
-	total    int64
-	sampling bool
-	base     int64
-	quantum  int64
-
-	pending  []int64 // site state: unreported increments
-	reported int64   // coordinator state: in-round reported count
+	b *Bank
 }
 
 // NewDeterministic creates a deterministic counter over k sites with error
 // parameter eps.
 func NewDeterministic(k int, eps float64, metrics *Metrics) (*Deterministic, error) {
-	if err := validate(k, eps); err != nil {
+	b, err := NewBank(DeterministicKind, 1, k, eps, 0, metrics, nil)
+	if err != nil {
 		return nil, err
 	}
-	return &Deterministic{
-		eps:     eps,
-		k:       k,
-		metrics: metrics,
-		pending: make([]int64, k),
-	}, nil
+	return &Deterministic{b: b}, nil
 }
 
 // Inc implements Counter.
-func (c *Deterministic) Inc(site int) {
-	c.total++
-	if !c.sampling {
-		c.metrics.AddSiteToCoord(1)
-		// Exact until a quantum of at least 2 is worthwhile.
-		if q := int64(math.Ceil(c.eps * float64(c.total) / float64(c.k))); q >= 2 {
-			c.openRound()
-		}
-		return
-	}
-	c.pending[site]++
-	if c.pending[site] >= c.quantum {
-		c.metrics.AddSiteToCoord(1)
-		c.reported += c.pending[site]
-		c.pending[site] = 0
-		if c.reported >= c.base {
-			c.openRound()
-		}
-	}
-}
-
-func (c *Deterministic) openRound() {
-	c.sampling = true
-	c.metrics.AddSiteToCoord(int64(c.k))
-	c.metrics.AddCoordToSite(int64(c.k))
-	c.base = c.total
-	c.quantum = int64(math.Ceil(c.eps * float64(c.base) / float64(c.k)))
-	if c.quantum < 1 {
-		c.quantum = 1
-	}
-	for i := range c.pending {
-		c.pending[i] = 0
-	}
-	c.reported = 0
-}
+func (c *Deterministic) Inc(site int) { c.b.incDet(0, site) }
 
 // Estimate implements Counter.
-func (c *Deterministic) Estimate() float64 {
-	if !c.sampling {
-		return float64(c.total)
-	}
-	return float64(c.base + c.reported)
-}
+func (c *Deterministic) Estimate() float64 { return c.b.Estimate(0) }
 
 // Exact implements Counter.
-func (c *Deterministic) Exact() int64 { return c.total }
+func (c *Deterministic) Exact() int64 { return c.b.total[0] }

@@ -1,15 +1,18 @@
 package counter
 
 import (
+	"encoding"
 	"encoding/binary"
 	"fmt"
 )
 
-// This file implements binary state snapshots for the counters, used by
-// core.Tracker.SaveState/LoadState to checkpoint and restore a coordinator
-// without replaying the stream. Only dynamic state is serialized; the
-// configuration (k, ε, metrics sink, RNG) stays with the receiving object,
-// which must have been constructed identically.
+// This file implements binary state snapshots for the counters and counter
+// banks, used by core.Tracker.SaveState/LoadState to checkpoint and restore
+// a coordinator without replaying the stream. Only dynamic state is
+// serialized; the configuration (k, ε, metrics sink, RNG) stays with the
+// receiving object, which must have been constructed identically. Derived
+// round parameters (pThresh/adj, quantum) are recomputed from the restored
+// round base, exactly as the constructors would.
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (c *Exact) MarshalBinary() ([]byte, error) {
@@ -27,27 +30,29 @@ func (c *Exact) UnmarshalBinary(data []byte) error {
 	return nil
 }
 
-// MarshalBinary implements encoding.BinaryMarshaler.
+// MarshalBinary implements encoding.BinaryMarshaler: the historical
+// single-counter wire format, read off the view's bank cell.
 func (c *HYZ) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 8*(5+2*len(c.d))+1)
+	b := c.b
+	buf := make([]byte, 0, 8*(5+2*b.k)+1)
 	var tmp [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
 	}
-	if c.sampling {
+	if b.sampling[0] {
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
 	}
-	put(uint64(c.total))
-	put(uint64(c.base))
-	put(uint64(c.estSum))
-	put(uint64(c.nReporters))
-	put(uint64(len(c.d)))
-	for i := range c.d {
-		put(uint64(c.d[i]))
-		put(uint64(c.r[i]))
+	put(uint64(b.total[0]))
+	put(uint64(b.base[0]))
+	put(uint64(b.estSum[0]))
+	put(uint64(b.nReporters[0]))
+	put(uint64(b.k))
+	for i := 0; i < b.k; i++ {
+		put(uint64(b.d[i]))
+		put(uint64(b.r[i]))
 	}
 	return buf, nil
 }
@@ -58,6 +63,7 @@ func (c *HYZ) UnmarshalBinary(data []byte) error {
 	if len(data) < 1+5*8 {
 		return fmt.Errorf("counter: hyz state too short (%d bytes)", len(data))
 	}
+	b := c.b
 	sampling := data[0] == 1
 	data = data[1:]
 	get := func() uint64 {
@@ -68,56 +74,50 @@ func (c *HYZ) UnmarshalBinary(data []byte) error {
 	total := int64(get())
 	base := int64(get())
 	estSum := int64(get())
-	nReporters := int(get())
+	nReporters := int32(get())
 	k := int(get())
-	if k != len(c.d) {
-		return fmt.Errorf("counter: hyz state has %d sites, counter has %d", k, len(c.d))
+	if k != b.k {
+		return fmt.Errorf("counter: hyz state has %d sites, counter has %d", k, b.k)
 	}
 	if len(data) != 16*k {
 		return fmt.Errorf("counter: hyz state site section %d bytes, want %d", len(data), 16*k)
 	}
-	c.sampling = sampling
-	c.total = total
-	c.base = base
-	c.estSum = estSum
-	c.nReporters = nReporters
+	b.sampling[0] = sampling
+	b.total[0] = total
+	b.base[0] = base
+	b.estSum[0] = estSum
+	b.nReporters[0] = nReporters
 	for i := 0; i < k; i++ {
-		c.d[i] = int64(get())
-		c.r[i] = int64(get())
+		b.d[i] = int64(get())
+		b.r[i] = int64(get())
 	}
 	// Recompute the derived round parameters from base.
-	if c.sampling {
-		c.p = ReportProb(c.k, c.eps, c.base)
-		if c.p >= 1 {
-			c.pThresh = ^uint64(0)
-			c.adj = 0
-		} else {
-			c.pThresh = uint64(c.p * float64(^uint64(0)))
-			c.adj = (1 - c.p) / c.p
-		}
+	if sampling {
+		b.setRoundParams(0, ReportProb(b.k, b.eps, b.base[0]))
 	}
 	return nil
 }
 
 // MarshalBinary implements encoding.BinaryMarshaler.
 func (c *Deterministic) MarshalBinary() ([]byte, error) {
-	buf := make([]byte, 0, 8*(4+len(c.pending))+1)
+	b := c.b
+	buf := make([]byte, 0, 8*(4+b.k)+1)
 	var tmp [8]byte
 	put := func(v uint64) {
 		binary.LittleEndian.PutUint64(tmp[:], v)
 		buf = append(buf, tmp[:]...)
 	}
-	if c.sampling {
+	if b.sampling[0] {
 		buf = append(buf, 1)
 	} else {
 		buf = append(buf, 0)
 	}
-	put(uint64(c.total))
-	put(uint64(c.base))
-	put(uint64(c.reported))
-	put(uint64(len(c.pending)))
-	for _, p := range c.pending {
-		put(uint64(p))
+	put(uint64(b.total[0]))
+	put(uint64(b.base[0]))
+	put(uint64(b.reported[0]))
+	put(uint64(b.k))
+	for i := 0; i < b.k; i++ {
+		put(uint64(b.pending[i]))
 	}
 	return buf, nil
 }
@@ -127,6 +127,7 @@ func (c *Deterministic) UnmarshalBinary(data []byte) error {
 	if len(data) < 1+4*8 {
 		return fmt.Errorf("counter: deterministic state too short (%d bytes)", len(data))
 	}
+	b := c.b
 	sampling := data[0] == 1
 	data = data[1:]
 	get := func() uint64 {
@@ -138,29 +139,214 @@ func (c *Deterministic) UnmarshalBinary(data []byte) error {
 	base := int64(get())
 	reported := int64(get())
 	k := int(get())
-	if k != len(c.pending) {
-		return fmt.Errorf("counter: deterministic state has %d sites, counter has %d", k, len(c.pending))
+	if k != b.k {
+		return fmt.Errorf("counter: deterministic state has %d sites, counter has %d", k, b.k)
 	}
 	if len(data) != 8*k {
 		return fmt.Errorf("counter: deterministic site section %d bytes, want %d", len(data), 8*k)
 	}
-	c.sampling = sampling
-	c.total = total
-	c.base = base
-	c.reported = reported
+	b.sampling[0] = sampling
+	b.total[0] = total
+	b.base[0] = base
+	b.reported[0] = reported
 	for i := 0; i < k; i++ {
-		c.pending[i] = int64(get())
+		b.pending[i] = int64(get())
 	}
-	c.quantum = 0
-	if c.sampling {
-		q := c.eps * float64(c.base) / float64(c.k)
-		c.quantum = int64(q)
-		if float64(c.quantum) < q {
-			c.quantum++
+	b.quantum[0] = 0
+	if sampling {
+		b.restoreQuantum(0)
+	}
+	return nil
+}
+
+// restoreQuantum recomputes the deterministic round quantum from the
+// restored base, matching openRoundDet without spending messages.
+func (b *Bank) restoreQuantum(cell int) {
+	q := b.eps * float64(b.base[cell]) / float64(b.k)
+	b.quantum[cell] = int64(q)
+	if float64(b.quantum[cell]) < q {
+		b.quantum[cell]++
+	}
+	if b.quantum[cell] < 1 {
+		b.quantum[cell] = 1
+	}
+}
+
+// --- whole-bank snapshots (the DBAYES03 checkpoint unit) ---
+
+// bankStateVersion guards the bank wire format.
+const bankStateVersion = 1
+
+// MarshalBinary implements encoding.BinaryMarshaler for a whole bank: one
+// record covering every cell, replacing the per-cell records of the DBAYES02
+// checkpoint format. Custom banks serialize each cell through its own
+// BinaryMarshaler (cells that do not implement it make the bank
+// uncheckpointable, as before).
+func (b *Bank) MarshalBinary() ([]byte, error) {
+	var tmp [8]byte
+	buf := make([]byte, 0, 4+8*(2+b.cells))
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(tmp[:], v)
+		buf = append(buf, tmp[:]...)
+	}
+	buf = append(buf, bankStateVersion, byte(b.kind))
+	put(uint64(b.cells))
+	put(uint64(b.k))
+	putSlice := func(s []int64) {
+		for _, v := range s {
+			put(uint64(v))
 		}
-		if c.quantum < 1 {
-			c.quantum = 1
+	}
+	switch b.kind {
+	case ExactKind:
+		putSlice(b.total)
+	case HYZKind:
+		putSlice(b.total)
+		for _, s := range b.sampling {
+			if s {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
 		}
+		putSlice(b.base)
+		putSlice(b.estSum)
+		for _, n := range b.nReporters {
+			put(uint64(n))
+		}
+		putSlice(b.d)
+		putSlice(b.r)
+	case DeterministicKind:
+		putSlice(b.total)
+		for _, s := range b.sampling {
+			if s {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+		putSlice(b.base)
+		putSlice(b.reported)
+		putSlice(b.pending)
+	case customKind:
+		for cell, c := range b.custom {
+			m, ok := c.(encoding.BinaryMarshaler)
+			if !ok {
+				return nil, fmt.Errorf("counter: custom bank cell %d (%T) does not support checkpointing", cell, c)
+			}
+			data, err := m.MarshalBinary()
+			if err != nil {
+				return nil, err
+			}
+			put(uint64(len(data)))
+			buf = append(buf, data...)
+		}
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The receiver must
+// have been constructed with the same kind, cell count and site count.
+func (b *Bank) UnmarshalBinary(data []byte) error {
+	if len(data) < 2+16 {
+		return fmt.Errorf("counter: bank state too short (%d bytes)", len(data))
+	}
+	if data[0] != bankStateVersion {
+		return fmt.Errorf("counter: bank state version %d, want %d", data[0], bankStateVersion)
+	}
+	if Kind(data[1]) != b.kind {
+		return fmt.Errorf("counter: bank state kind %d, bank has %d", data[1], b.kind)
+	}
+	data = data[2:]
+	ok := true
+	get := func() uint64 {
+		if len(data) < 8 {
+			ok = false
+			return 0
+		}
+		v := binary.LittleEndian.Uint64(data)
+		data = data[8:]
+		return v
+	}
+	if cells := int(get()); cells != b.cells {
+		return fmt.Errorf("counter: bank state has %d cells, bank has %d", cells, b.cells)
+	}
+	if k := int(get()); k != b.k {
+		return fmt.Errorf("counter: bank state has %d sites, bank has %d", k, b.k)
+	}
+	getSlice := func(s []int64) {
+		for i := range s {
+			s[i] = int64(get())
+		}
+	}
+	getBools := func(s []bool) {
+		if len(data) < len(s) {
+			ok = false
+			return
+		}
+		for i := range s {
+			s[i] = data[i] == 1
+		}
+		data = data[len(s):]
+	}
+	switch b.kind {
+	case ExactKind:
+		getSlice(b.total)
+	case HYZKind:
+		getSlice(b.total)
+		getBools(b.sampling)
+		getSlice(b.base)
+		getSlice(b.estSum)
+		for i := range b.nReporters {
+			b.nReporters[i] = int32(get())
+		}
+		getSlice(b.d)
+		getSlice(b.r)
+		if ok {
+			for cell := 0; cell < b.cells; cell++ {
+				if b.sampling[cell] {
+					b.setRoundParams(cell, ReportProb(b.k, b.eps, b.base[cell]))
+				} else {
+					b.pThresh[cell] = 0
+					b.adj[cell] = 0
+				}
+			}
+		}
+	case DeterministicKind:
+		getSlice(b.total)
+		getBools(b.sampling)
+		getSlice(b.base)
+		getSlice(b.reported)
+		getSlice(b.pending)
+		if ok {
+			for cell := 0; cell < b.cells; cell++ {
+				b.quantum[cell] = 0
+				if b.sampling[cell] {
+					b.restoreQuantum(cell)
+				}
+			}
+		}
+	case customKind:
+		for cell, c := range b.custom {
+			u, uok := c.(encoding.BinaryUnmarshaler)
+			if !uok {
+				return fmt.Errorf("counter: custom bank cell %d (%T) does not support checkpointing", cell, c)
+			}
+			n := int(get())
+			if !ok || n < 0 || n > len(data) {
+				return fmt.Errorf("counter: bank state truncated at custom cell %d", cell)
+			}
+			if err := u.UnmarshalBinary(data[:n]); err != nil {
+				return err
+			}
+			data = data[n:]
+		}
+	}
+	if !ok {
+		return fmt.Errorf("counter: bank state truncated")
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("counter: bank state has %d trailing bytes", len(data))
 	}
 	return nil
 }

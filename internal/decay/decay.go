@@ -18,6 +18,13 @@
 // Plugged into core.Tracker through Config.CounterFactory, this yields a
 // tracker whose CPD estimates follow distribution drift, demonstrated by the
 // drift test in this package.
+//
+// Decayed counters live in the tracker's custom counter banks (per-cell
+// interface dispatch rather than the flat built-in banks), and because Tick
+// mutates them outside the tracker's stripe locks, the tracker disables its
+// model-snapshot cache for CounterFactory trackers: every query re-reads the
+// live counters, so rotation is always visible. Quiesce ingestion around
+// Tick as before — the stripe locks only cover mutation through Inc.
 package decay
 
 import (

@@ -1,0 +1,102 @@
+#!/usr/bin/env bash
+# bench_regression.sh — run the ingestion + query benchmarks and gate on
+# throughput regressions against the committed BENCH_BASELINE.txt.
+#
+# The gate is intentionally narrow: it fails only when a
+# BenchmarkParallelIngest sub-benchmark loses more than BENCH_REGRESSION_PCT
+# (default 30) percent of its baseline events/sec, and only when the runner
+# reports the same `cpu:` line as the machine that recorded the baseline —
+# absolute throughput is not comparable across hardware, so on a different
+# CPU the comparison is printed as an advisory and the gate passes. ns/op
+# and allocs of the query benchmarks are reported (via benchstat when
+# installed) but never gated. Set BENCH_GATE=force to gate regardless of
+# the CPU match (e.g. on a dedicated baseline runner with an unstable cpu
+# string).
+#
+# Refresh the baseline on a quiet machine with:
+#   scripts/bench_regression.sh --update-baseline
+#
+# Environment:
+#   BENCH_BASELINE        baseline file (default BENCH_BASELINE.txt)
+#   BENCH_REGRESSION_PCT  allowed events/sec drop in percent (default 30)
+#   BENCH_TIME            go test -benchtime (default 1s)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=${BENCH_BASELINE:-BENCH_BASELINE.txt}
+THRESHOLD=${BENCH_REGRESSION_PCT:-30}
+BENCH_TIME=${BENCH_TIME:-1s}
+PATTERN='BenchmarkParallelIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker'
+
+run_benchmarks() {
+  go test -count=1 -run '^$' -bench "$PATTERN" -benchtime "$BENCH_TIME" .
+}
+
+if [[ "${1:-}" == "--update-baseline" ]]; then
+  run_benchmarks | tee "$BASELINE"
+  echo "wrote $BASELINE"
+  exit 0
+fi
+
+if [[ ! -f "$BASELINE" ]]; then
+  echo "no $BASELINE found; run scripts/bench_regression.sh --update-baseline first" >&2
+  exit 1
+fi
+
+CURRENT=$(mktemp)
+trap 'rm -f "$CURRENT"' EXIT
+run_benchmarks | tee "$CURRENT"
+
+if command -v benchstat >/dev/null 2>&1; then
+  echo
+  echo "=== benchstat: $BASELINE vs current ==="
+  benchstat "$BASELINE" "$CURRENT" || true
+else
+  echo "(benchstat not installed; skipping delta report)" >&2
+fi
+
+base_cpu=$(grep -m1 '^cpu:' "$BASELINE" || true)
+cur_cpu=$(grep -m1 '^cpu:' "$CURRENT" || true)
+gate=1
+if [[ "${BENCH_GATE:-}" != "force" && "$base_cpu" != "$cur_cpu" ]]; then
+  gate=0
+  echo
+  echo "baseline ${base_cpu:-<none>} != current ${cur_cpu:-<none>}:" \
+       "different hardware, comparison is advisory only" >&2
+fi
+
+echo
+echo "=== events/sec gate (threshold: -${THRESHOLD}%) ==="
+awk -v thr="$THRESHOLD" -v gate="$gate" '
+  function key() {
+    k = $1
+    sub(/-[0-9]+$/, "", k)  # strip the GOMAXPROCS suffix, varies per runner
+    return k
+  }
+  function rate() {
+    for (i = 2; i <= NF; i++) if ($i == "events/sec") return $(i - 1)
+    return ""
+  }
+  FNR == 1 { file++ }
+  /events\/sec/ {
+    r = rate()
+    if (r == "") next
+    if (file == 1) base[key()] = r
+    else cur[key()] = r
+  }
+  END {
+    bad = 0
+    for (k in base) {
+      if (!(k in cur)) {
+        printf "MISSING  %-45s baseline %.0f ev/s, not in current run\n", k, base[k]
+        bad = 1
+        continue
+      }
+      pct = (cur[k] - base[k]) / base[k] * 100
+      status = "ok"
+      if (pct < -thr) { status = (gate ? "FAIL" : "warn"); bad = 1 }
+      printf "%-8s %-45s %.0f -> %.0f ev/s (%+.1f%%)\n", status, k, base[k], cur[k], pct
+    }
+    exit (gate ? bad : 0)
+  }
+' "$BASELINE" "$CURRENT"
