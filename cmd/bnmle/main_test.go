@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"strings"
+	"testing"
+
+	"distbayes/internal/experiments"
+)
+
+// runMain invokes main() with the given command line, capturing stdout.
+// Each call resets the global flag set, so several tests can exercise the
+// real entry point in one process. Only happy paths are driveable this way
+// (error paths os.Exit).
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() {
+		os.Args, os.Stdout = oldArgs, oldStdout
+	}()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ExitOnError)
+	os.Args = args
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	main()
+	w.Close()
+	return <-done
+}
+
+// TestListMatchesRegistry: -list must print exactly the experiment registry,
+// one id per line.
+func TestListMatchesRegistry(t *testing.T) {
+	out := runMain(t, "bnmle", "-list")
+	got := strings.Fields(out)
+	want := experiments.IDs()
+	if len(got) != len(want) {
+		t.Fatalf("-list printed %d ids, want %d:\n%s", len(got), len(want), out)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("-list id %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestTable1Golden runs the cheapest real experiment end to end — the
+// Table I network inventory is deterministic — and pins its rendered rows.
+func TestTable1Golden(t *testing.T) {
+	out := runMain(t, "bnmle", "-exp", "table1", "-nets", "alarm")
+	for _, want := range []string{
+		"Table I",
+		"network", "nodes", "edges", "params",
+		"alarm", "37", "46", "509",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTable1CSV: the -csv emitter must produce a parseable header + row.
+func TestTable1CSV(t *testing.T) {
+	out := runMain(t, "bnmle", "-exp", "table1", "-nets", "alarm", "-csv")
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	var data []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "network,") || strings.HasPrefix(l, "alarm,") {
+			data = append(data, l)
+		}
+	}
+	if len(data) != 2 {
+		t.Fatalf("csv output lacks header+row:\n%s", out)
+	}
+	if got := strings.Split(data[1], ","); got[0] != "alarm" || got[1] != "37" {
+		t.Fatalf("csv row = %q, want alarm,37,...", data[1])
+	}
+}
+
+// TestSplitHelpers covers the flag-parsing helpers' error cases, which the
+// golden runs above never reach.
+func TestSplitHelpers(t *testing.T) {
+	if got, err := splitList("a, b ,c"); err != nil || len(got) != 3 || got[1] != "b" {
+		t.Errorf("splitList = %v, %v", got, err)
+	}
+	if _, err := splitList("a,,c"); err == nil {
+		t.Error("splitList accepted an empty element")
+	}
+	if got, err := splitInts("1,2,30"); err != nil || len(got) != 3 || got[2] != 30 {
+		t.Errorf("splitInts = %v, %v", got, err)
+	}
+	if _, err := splitInts("1,x"); err == nil {
+		t.Error("splitInts accepted a non-integer")
+	}
+	if got, err := splitFloats("0.5,2"); err != nil || len(got) != 2 || got[0] != 0.5 {
+		t.Errorf("splitFloats = %v, %v", got, err)
+	}
+	if _, err := splitFloats("0.5,y"); err == nil {
+		t.Error("splitFloats accepted a non-float")
+	}
+	if got, err := splitInts(""); err != nil || got != nil {
+		t.Errorf("splitInts(\"\") = %v, %v, want nil, nil", got, err)
+	}
+}

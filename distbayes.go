@@ -52,10 +52,19 @@
 // interleaving-dependent (still within the (ε, δ) guarantee). Batched
 // ingestion (UpdateBatch / Ingest) additionally moves the parent-index
 // computation outside the locks, so producers share almost no serialized
-// work beyond the counter increments themselves. SaveState/LoadState require
-// ingestion to be quiesced for a meaningful stream position, as does any
-// out-of-band mutation of Config.CounterFactory counters (e.g. the decay
-// banks' Tick), whose mutation the stripe locks only cover inside Inc.
+// work beyond the counter increments themselves.
+//
+// Config.DeltaBuffered goes one step further: ingestion becomes lock-free —
+// each goroutine accumulates exact increment counts into a private
+// DeltaBuffer and publishes on a cadence (Config.DeltaFlushEvents, an
+// explicit Flush, or the barrier every query and checkpoint path runs), with
+// the counter message protocol replayed on the merged totals. Exact counts
+// and the (ε, δ) guarantee are preserved; Events and Messages lag until a
+// publish. See the core.Tracker documentation for the full three-mode
+// contract. SaveState/LoadState require ingestion to be quiesced for a
+// meaningful stream position, as does any out-of-band mutation of
+// Config.CounterFactory counters (e.g. the decay banks' Tick), whose
+// mutation the stripe locks only cover inside Inc.
 //
 // # Storage and query performance
 //
@@ -116,6 +125,10 @@ type (
 	// variable's raw pair and parent estimates copied under a single stripe
 	// lock acquisition.
 	CPDRows = core.CPDRows
+	// DeltaBuffer is one goroutine's private increment accumulation in the
+	// lock-free ingestion mode (Config.DeltaBuffered); create with
+	// Tracker.NewDeltaBuffer, publish with Flush, retire with Release.
+	DeltaBuffer = core.DeltaBuffer
 )
 
 // Strategies.
@@ -184,6 +197,14 @@ func NewSiteTrainings(model *Model, sites int, seed uint64) []*Training {
 // benchmarks.
 func DriveParallel(tr *Tracker, streams []*Training, perSite, batchSize int) int64 {
 	return stream.DriveParallel(tr, streams, perSite, batchSize)
+}
+
+// DriveWorkStealing ingests counts[s] events from streams[s] — per-site
+// quotas that may differ wildly, e.g. a Zipf-skewed assignment — with batch
+// stealing between the site pumps, so idle workers drain the hot sites'
+// tails. Returns the total ingested.
+func DriveWorkStealing(tr *Tracker, streams []*Training, counts []int, batchSize int) int64 {
+	return stream.DriveWorkStealing(tr, streams, counts, batchSize)
 }
 
 // Produce sends the next n events of t into out (each with its own backing

@@ -1,0 +1,50 @@
+package main
+
+import (
+	"io"
+	"os"
+	"testing"
+)
+
+// quickstartGolden is the example's exact output: everything — the stream,
+// both trackers, the message tallies — is deterministic in the seeds wired
+// into main, so the whole transcript is a golden. A drift here means the
+// public distbayes API changed behavior under a fixed seed, which is worth
+// a deliberate decision, not an accident.
+const quickstartGolden = `trained on 200000 events across 12 sites (eps=0.10)
+
+joint probability estimates:
+  event                    truth    exact-MLE  nonuniform
+  W=0 T=0 L=0           0.43200    0.43043     0.43617
+  W=1 T=1 L=1           0.11700    0.11730     0.11759
+  W=2 T=1 L=1           0.05850    0.05870     0.05923
+  W=0 T=1 L=0           0.04200    0.04226     0.04259
+
+communication: exact=1200000 messages, nonuniform=118278 messages (10.1x fewer)
+`
+
+// TestQuickstartGolden runs the example end to end and compares the full
+// transcript.
+func TestQuickstartGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("200k-event example in -short mode")
+	}
+	oldStdout := os.Stdout
+	defer func() { os.Stdout = oldStdout }()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	main()
+	w.Close()
+	got := <-done
+	if got != quickstartGolden {
+		t.Errorf("quickstart output drifted:\n--- got ---\n%s--- want ---\n%s", got, quickstartGolden)
+	}
+}

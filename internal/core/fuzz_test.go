@@ -1,0 +1,136 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"distbayes/internal/bn"
+)
+
+// fuzzConfigs are the tracker shapes FuzzLoadState decodes into — one per
+// bank kind (randomized, deterministic, exact), plus a multi-stripe variant
+// whose checkpoint carries several RNG states.
+func fuzzConfigs() []Config {
+	return []Config{
+		{Strategy: NonUniform, Eps: 0.15, Delta: 0.25, Sites: 3, Seed: 7},
+		{Strategy: NonUniform, Eps: 0.15, Sites: 3, Seed: 7, Counter: DeterministicCounter},
+		{Strategy: ExactMLE, Sites: 3, Seed: 7},
+		{Strategy: Uniform, Eps: 0.2, Delta: 0.25, Sites: 3, Seed: 7, Shards: 2},
+	}
+}
+
+// fuzzNet is the fixed network the fuzz trackers are built over (the
+// testModel network, duplicated here without a *testing.T so the fuzz
+// engine can call it).
+func fuzzNet() *bn.Network {
+	return bn.MustNetwork([]bn.Variable{
+		{Name: "A", Card: 2},
+		{Name: "B", Card: 3, Parents: []int{0}},
+		{Name: "C", Card: 2, Parents: []int{1}},
+	})
+}
+
+// FuzzLoadState feeds arbitrary bytes to the DBAYES03 checkpoint decoder:
+// whatever the input — truncated, bit-flipped, adversarially crafted record
+// lengths — LoadState must return an error or succeed, never panic and
+// never allocate absurdly (the record-length check against Bank.StateLen).
+// The seed corpus contains valid checkpoints of every bank kind plus
+// mutations of them, so the fuzzer starts deep inside the format rather
+// than at the magic check.
+func FuzzLoadState(f *testing.F) {
+	net := fuzzNet()
+	for _, cfg := range fuzzConfigs() {
+		tr, err := NewTracker(net, cfg)
+		if err != nil {
+			f.Fatal(err)
+		}
+		evs := genFuzzEvents(net, cfg.Sites, 400, 3)
+		for _, ev := range evs {
+			tr.Update(ev.Site, ev.X)
+		}
+		var buf bytes.Buffer
+		if err := tr.SaveState(&buf); err != nil {
+			f.Fatal(err)
+		}
+		snap := buf.Bytes()
+		f.Add(append([]byte(nil), snap...))
+		f.Add(append([]byte(nil), snap[:len(snap)/2]...)) // truncation
+		flipped := append([]byte(nil), snap...)
+		flipped[len(flipped)/3] ^= 0x40 // bit flip mid-record
+		f.Add(flipped)
+	}
+	f.Add([]byte("DBAYES03"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, cfg := range fuzzConfigs() {
+			tr, err := NewTracker(net, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Must not panic; errors are the expected outcome for garbage.
+			_ = tr.LoadState(bytes.NewReader(data))
+		}
+	})
+}
+
+// genFuzzEvents is genEventStream without the *testing.T, for fuzz setup.
+func genFuzzEvents(net *bn.Network, sites, n int, seed uint64) []Event {
+	rng := bn.NewRNG(seed)
+	evs := make([]Event, n)
+	for j := range evs {
+		x := make([]int, net.Len())
+		for i := 0; i < net.Len(); i++ {
+			x[i] = rng.Intn(net.Card(i))
+		}
+		evs[j] = Event{Site: rng.Intn(sites), X: x}
+	}
+	return evs
+}
+
+// TestWriteFuzzLoadStateCorpus regenerates the committed seed corpus under
+// testdata/fuzz when DISTBAYES_WRITE_FUZZ_CORPUS is set; normally it only
+// verifies the corpus directory exists.
+func TestWriteFuzzLoadStateCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzLoadState")
+	if os.Getenv("DISTBAYES_WRITE_FUZZ_CORPUS") == "" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("seed corpus missing: %v (regenerate with DISTBAYES_WRITE_FUZZ_CORPUS=1)", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	net := fuzzNet()
+	for i, cfg := range fuzzConfigs() {
+		tr, err := NewTracker(net, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ev := range genFuzzEvents(net, cfg.Sites, 400, 3) {
+			tr.Update(ev.Site, ev.X)
+		}
+		var buf bytes.Buffer
+		if err := tr.SaveState(&buf); err != nil {
+			t.Fatal(err)
+		}
+		snap := buf.Bytes()
+		write := func(name string, data []byte) {
+			t.Helper()
+			payload := []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+			if err := os.WriteFile(filepath.Join(dir, name), payload, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		prefix := "cfg" + strconv.Itoa(i)
+		write(prefix+"-valid", snap)
+		write(prefix+"-truncated", snap[:len(snap)/2])
+		flipped := append([]byte(nil), snap...)
+		flipped[len(flipped)/3] ^= 0x40
+		write(prefix+"-bitflip", flipped)
+	}
+}

@@ -59,6 +59,7 @@ func (t *Tracker) fingerprint() uint64 {
 // the event, later ones not yet): quiesce ingestion first for a consistent
 // snapshot, not just for a specific stream position.
 func (t *Tracker) SaveState(w io.Writer) error {
+	t.FlushDeltas() // quiescence is required anyway; publish parked deltas
 	t.lockAll()
 	defer t.unlockAll()
 	bw := bufio.NewWriter(w)
@@ -118,6 +119,10 @@ func (t *Tracker) SaveState(w io.Writer) error {
 // (including the same Shards); a fingerprint mismatch is rejected. Any
 // cached model snapshot is invalidated.
 func (t *Tracker) LoadState(r io.Reader) error {
+	// Publish (and thereby empty) any parked delta buffers so they cannot
+	// fold pre-restore increments into the restored state at a later flush.
+	// As with SaveState, callers must quiesce ingestion around the call.
+	t.FlushDeltas()
 	t.lockAll()
 	defer t.unlockAll()
 	br := bufio.NewReader(r)
@@ -168,7 +173,14 @@ func (t *Tracker) LoadState(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		if n > 1<<30 {
+		// Reject a corrupt record length before allocating for it: built-in
+		// banks have a statically known state size, so anything else is
+		// garbage; custom banks (unknown size) keep a coarse cap.
+		if want := b.StateLen(); want >= 0 {
+			if n != uint64(want) {
+				return fmt.Errorf("core: snapshot bank record of %d bytes, want %d", n, want)
+			}
+		} else if n > 1<<30 {
 			return fmt.Errorf("core: snapshot bank record of %d bytes", n)
 		}
 		data := make([]byte, n)

@@ -57,6 +57,23 @@ type Config struct {
 	// stripes in parallel; exact counts stay exact, but randomized-counter
 	// message schedules become interleaving-dependent.
 	Shards int
+	// DeltaBuffered selects the lock-free ingestion mode: every ingestion
+	// entry point accumulates exact increment counts into a per-goroutine
+	// DeltaBuffer and publishes on a cadence (DeltaFlushEvents, an explicit
+	// Flush, or a query barrier) by folding the buffer into the shared banks
+	// with one stripe acquisition per stripe and replaying the counter
+	// message protocol on the merged totals (counter.Bank.Merge). Exact
+	// counts are preserved under any interleaving and the randomized
+	// counters keep their (ε, δ) guarantee, but estimates, message tallies
+	// and Events lag until a publish, and message schedules correspond to a
+	// batched interleaving — like Shards > 1, this mode trades the
+	// sequential tracker's bit-reproducibility for throughput. See
+	// deltabuf.go for the lifecycle and memory footprint.
+	DeltaBuffered bool
+	// DeltaFlushEvents is the publish cadence of delta-buffered ingestion:
+	// a buffer that accumulates this many events publishes inline. 0 means
+	// the default (1024). Ignored unless DeltaBuffered.
+	DeltaFlushEvents int
 }
 
 func (c Config) validate() error {
@@ -76,6 +93,9 @@ func (c Config) validate() error {
 	}
 	if c.Shards < 0 {
 		return fmt.Errorf("core: shards = %d, want >= 0", c.Shards)
+	}
+	if c.DeltaFlushEvents < 0 {
+		return fmt.Errorf("core: delta flush cadence = %d, want >= 0", c.DeltaFlushEvents)
 	}
 	return nil
 }
@@ -106,9 +126,31 @@ type Event struct {
 // Concurrency model: all ingestion entry points (Update, UpdateBatch,
 // UpdateEvents, Ingest) and all query entry points (QueryProb, QueryCPD,
 // Classify, ExactCount, EstimatedModel, ...) are safe to call from multiple
-// goroutines. Counter banks are partitioned into Config.Shards lock stripes
-// by variable index; an update walks the stripes in ascending order, so two
-// concurrent updates pipeline across stripes instead of serializing.
+// goroutines, in any of three ingestion modes:
+//
+//   - Sequential (Shards ≤ 1, DeltaBuffered false): one lock stripe, one
+//     RNG, one global update order. Bit-identical to the historical
+//     sequential tracker for a fixed seed and event order — same counts,
+//     same message tallies, same query answers (the reference mode, pinned
+//     by TestSequentialModeBitCompat).
+//   - Striped (Shards > 1, DeltaBuffered false): counter banks are
+//     partitioned into Config.Shards lock stripes by variable index; an
+//     update walks the stripes in ascending order, so two concurrent
+//     updates pipeline across stripes instead of serializing. Exact counts
+//     stay exact under any interleaving; randomized-counter message
+//     schedules become interleaving-dependent but keep the (ε, δ)
+//     guarantee. Reads are immediate, as in sequential mode.
+//   - Delta-buffered (DeltaBuffered true, any Shards): ingestion
+//     accumulates exact increment counts into per-goroutine DeltaBuffers
+//     with no shared-state access at all, publishing on a cadence by
+//     folding each buffer into the banks under one stripe acquisition per
+//     stripe (counter.Bank.Merge replays the message protocol on the
+//     merged totals). Exact counts stay exact and the (ε, δ) guarantee
+//     holds, but Events/Messages lag until a publish and message schedules
+//     correspond to a batched interleaving; the query, checkpoint and
+//     snapshot paths all start with a FlushDeltas barrier so reads always
+//     see every increment published before the barrier.
+//
 // Concurrent queries must not share mutable arguments — Classify scratches
 // x[target] in the caller's slice, so each goroutine needs its own x.
 //
@@ -153,6 +195,20 @@ type Tracker struct {
 	par  []*counter.Bank
 
 	scratch sync.Pool // *[]int32 parent-index buffers for batched ingestion
+
+	// deltaFlushEvery is the normalized publish cadence of delta-buffered
+	// ingestion (Config.DeltaFlushEvents, defaulted).
+	deltaFlushEvery int64
+	// deltaMu guards the delta-buffer registry and free list. deltaBufs
+	// holds every live buffer (FlushDeltas barriers walk it); deltaFree are
+	// the checked-in buffers recycled by the implicit entry points.
+	deltaMu   sync.Mutex
+	deltaBufs []*DeltaBuffer
+	deltaFree []*DeltaBuffer
+	// deltaPending counts buffers currently holding unpublished events, so
+	// the FlushDeltas barrier is one atomic load when there is nothing to
+	// publish.
+	deltaPending atomic.Int32
 
 	// snap is the last published model snapshot (nil until the first
 	// structured query; never cached for CounterFactory trackers).
@@ -200,6 +256,11 @@ func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
 		alloc: alloc,
 		pair:  make([]*counter.Bank, net.Len()),
 		par:   make([]*counter.Bank, net.Len()),
+
+		deltaFlushEvery: int64(cfg.DeltaFlushEvents),
+	}
+	if t.deltaFlushEvery == 0 {
+		t.deltaFlushEvery = defaultDeltaFlushEvents
 	}
 	nShards := cfg.numShards()
 	if nShards > net.Len() && net.Len() > 0 {
@@ -279,11 +340,14 @@ func (t *Tracker) Config() Config { return t.cfg }
 // Allocation returns the per-variable counter error parameters in use.
 func (t *Tracker) Allocation() Allocation { return t.alloc }
 
-// Events returns the number of training observations processed.
+// Events returns the number of training observations processed. In
+// delta-buffered mode this counts published events only — increments parked
+// in unflushed buffers appear after the next publish or FlushDeltas barrier.
 func (t *Tracker) Events() int64 { return t.events.Load() }
 
 // Messages returns a snapshot of the protocol messages exchanged so far;
-// safe to call while ingestion is in flight.
+// safe to call while ingestion is in flight. Like Events, in delta-buffered
+// mode the tallies reflect published increments only.
 func (t *Tracker) Messages() counter.Metrics { return t.metrics.Snapshot() }
 
 func (t *Tracker) checkSite(site int) {
@@ -295,9 +359,17 @@ func (t *Tracker) checkSite(site int) {
 // Update records one training observation x received at the given site
 // (Algorithm 2): for every variable the pair counter and the parent counter
 // of the observed configuration are incremented. Safe for concurrent use;
-// with a single stripe, concurrent callers serialize in arrival order.
+// with a single stripe, concurrent callers serialize in arrival order. In
+// delta-buffered mode the observation is parked in a pooled buffer and
+// published on the flush cadence rather than immediately.
 func (t *Tracker) Update(site int, x []int) {
 	t.checkSite(site)
+	if t.cfg.DeltaBuffered {
+		d := t.getDelta()
+		d.addOneChecked(site, x)
+		t.putDelta(d)
+		return
+	}
 	if len(t.shards) == 1 {
 		// Single stripe: hoisting parent indices buys no parallelism (the
 		// lock must be held for every variable anyway), so keep the
@@ -336,6 +408,17 @@ func (t *Tracker) putScratch(buf []int32) { t.scratch.Put(&buf) }
 // this reproduces the sequential per-event update order exactly.
 func (t *Tracker) applyIndexed(m int, xAt func(int) []int, siteAt func(int) int) {
 	if m == 0 {
+		return
+	}
+	if t.cfg.DeltaBuffered {
+		// Buffered mode: accumulate into a pooled buffer (sites already
+		// validated by the callers), publishing on cadence. The free-list
+		// checkout costs two deltaMu acquisitions per call — amortized by
+		// batching here; per-event hot loops should hold an explicit
+		// NewDeltaBuffer instead (as the parallel drivers do).
+		d := t.getDelta()
+		d.addIndexedChecked(m, xAt, siteAt)
+		t.putDelta(d)
 		return
 	}
 	// Process huge batches in bounded chunks so the scratch buffer (and the
@@ -425,8 +508,10 @@ func (t *Tracker) UpdateEvents(events []Event) {
 // returned count always matches what reached the counters — every receive
 // is followed by a flush before the cancellation check, and the exit paths
 // flush defensively so the invariant survives future restructuring of the
-// drain loop. Multiple Ingest pumps may run concurrently on one tracker;
-// the count of events this pump ingested is returned either way.
+// drain loop. In delta-buffered mode the pump owns one buffer for its
+// lifetime and publishes it before returning, so the invariant holds at
+// return there too. Multiple Ingest pumps may run concurrently on one
+// tracker; the count of events this pump ingested is returned either way.
 func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -435,11 +520,23 @@ func (t *Tracker) Ingest(ctx context.Context, events <-chan Event) (int64, error
 	done := ctx.Done()
 	batch := make([]Event, 0, maxBatch)
 	var ingested int64
+	var buf *DeltaBuffer
+	if t.cfg.DeltaBuffered {
+		buf = t.getDelta()
+		defer func() {
+			buf.Flush()
+			t.putDelta(buf)
+		}()
+	}
 	flush := func() {
 		if len(batch) == 0 {
 			return
 		}
-		t.UpdateEvents(batch)
+		if buf != nil {
+			buf.AddEvents(batch)
+		} else {
+			t.UpdateEvents(batch)
+		}
 		ingested += int64(len(batch))
 		batch = batch[:0]
 	}
@@ -515,6 +612,7 @@ type CPDRows struct {
 // in-flight updates. Estimates are raw; apply Config.Smoothing downstream
 // as (Pair[c]+s)/(Par[pidx]+s·J_i).
 func (t *Tracker) ReadCPDRows(i int, rows *CPDRows) {
+	t.FlushDeltas()
 	j, k := t.net.Card(i), t.net.ParentCard(i)
 	rows.Pair = growFloats(rows.Pair, j*k)
 	rows.Par = growFloats(rows.Par, k)
@@ -595,6 +693,7 @@ const staleQueryRebuildThreshold = 3
 // stale (see staleQueryRebuildThreshold). Both paths produce bit-identical
 // answers.
 func (t *Tracker) pointSnapshot() *modelSnapshot {
+	t.FlushDeltas() // barrier first, so a "fresh" cache can't hide parked deltas
 	if t.cfg.CounterFactory != nil {
 		return nil
 	}
@@ -612,6 +711,7 @@ func (t *Tracker) pointSnapshot() *modelSnapshot {
 // always rebuild in full and never cache: factory counters may be mutated
 // out of band (decay rotation), which the stripe versions cannot see.
 func (t *Tracker) snapshot() *modelSnapshot {
+	t.FlushDeltas()
 	cacheable := t.cfg.CounterFactory == nil
 	var old *modelSnapshot
 	if cacheable {
@@ -708,7 +808,10 @@ func (t *Tracker) QuerySubsetProb(set []int, x []int) float64 {
 
 // QueryCPD estimates the single CPD entry P[X_i = v | parent config pidx]
 // with a live per-cell read (no snapshot involved).
-func (t *Tracker) QueryCPD(i, v, pidx int) float64 { return t.cpdFactor(i, v, pidx) }
+func (t *Tracker) QueryCPD(i, v, pidx int) float64 {
+	t.FlushDeltas()
+	return t.cpdFactor(i, v, pidx)
+}
 
 // Classify returns argmax_y of the tracked P[X_target = y | x_{-target}]
 // (the approximate Bayesian classification of Definition 4). Only the
@@ -801,6 +904,7 @@ func (t *Tracker) EstimatedModel() (*bn.Model, error) {
 // cell; used by evaluation code to compute the exact-MLE reference from the
 // same tracker run. Both counts are read under the variable's stripe lock.
 func (t *Tracker) ExactCount(i, v, pidx int) (pairCount, parCount int64) {
+	t.FlushDeltas()
 	sh := t.stripeOf(i)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -230,6 +230,162 @@ func (b *Bank) Exact(cell int) int64 {
 	return b.total[cell]
 }
 
+// Merge folds a delta of per-(cell, site) increment counts into the bank,
+// replaying each cell's counter protocol on the merged totals. delta is
+// indexed cell*k + site and must have length Cells()·k; for custom banks,
+// whose site count is not recorded, the stride k is derived as
+// len(delta)/Cells(). A mismatched length panics, like a slice misuse.
+//
+// Merging is equivalent to calling Inc once per recorded increment with the
+// increments of one (cell, site) run applied back to back: exact totals are
+// identical to any other interleaving of the same multiset (Inc totals are
+// commutative), while message schedules and randomized estimates correspond
+// to that batched interleaving — the same interleaving-dependence already
+// accepted for sharded ingestion, so the per-counter (ε, δ) guarantee is
+// preserved. The built-in kinds take bulk fast paths where the protocol
+// allows: ExactKind folds a whole cell in O(1), the sampling kinds bulk-add
+// the exact-mode prefix of a run and (for the deterministic counter) whole
+// report quanta, falling back to per-increment replay only where an RNG draw
+// or a threshold crossing requires it. This is the merge half of the
+// tracker's delta-buffered ingestion mode (core.Config.DeltaBuffered).
+func (b *Bank) Merge(delta []int64) {
+	k := b.k
+	if b.kind == customKind {
+		if b.cells == 0 {
+			if len(delta) != 0 {
+				panic(fmt.Sprintf("counter: merge delta of %d cells into empty bank", len(delta)))
+			}
+			return
+		}
+		if len(delta)%b.cells != 0 {
+			panic(fmt.Sprintf("counter: merge delta length %d not a multiple of %d cells", len(delta), b.cells))
+		}
+		k = len(delta) / b.cells
+	} else if len(delta) != b.cells*k {
+		panic(fmt.Sprintf("counter: merge delta length %d, want %d (%d cells x %d sites)", len(delta), b.cells*k, b.cells, k))
+	}
+	switch b.kind {
+	case ExactKind:
+		var msgs int64
+		for cell := 0; cell < b.cells; cell++ {
+			var sum int64
+			for _, c := range delta[cell*k : (cell+1)*k] {
+				sum += c
+			}
+			b.total[cell] += sum
+			msgs += sum
+		}
+		if msgs != 0 {
+			b.metrics.AddSiteToCoord(msgs)
+		}
+	case HYZKind:
+		for cell := 0; cell < b.cells; cell++ {
+			row := delta[cell*k : (cell+1)*k]
+			for site, c := range row {
+				if c > 0 {
+					b.mergeHYZ(cell, site, c)
+				}
+			}
+		}
+	case DeterministicKind:
+		for cell := 0; cell < b.cells; cell++ {
+			row := delta[cell*k : (cell+1)*k]
+			for site, c := range row {
+				if c > 0 {
+					b.mergeDet(cell, site, c)
+				}
+			}
+		}
+	default:
+		for cell := 0; cell < b.cells; cell++ {
+			row := delta[cell*k : (cell+1)*k]
+			for site, c := range row {
+				for ; c > 0; c-- {
+					b.custom[cell].Inc(site)
+				}
+			}
+		}
+	}
+}
+
+// mergeHYZ replays c increments of cell at site. The exact-mode prefix is
+// bulk-added (each increment forwards one message and the round opens exactly
+// when the total reaches the threshold, so the fold is bit-identical to the
+// per-increment loop); sampling-mode increments replay individually because
+// each draws the report coin.
+func (b *Bank) mergeHYZ(cell, site int, c int64) {
+	if !b.sampling[cell] {
+		step := b.exactThresh - b.total[cell]
+		if step > c {
+			step = c
+		}
+		if step > 0 {
+			b.total[cell] += step
+			b.metrics.AddSiteToCoord(step)
+			c -= step
+		}
+		if b.total[cell] >= b.exactThresh {
+			b.openRoundHYZ(cell)
+		}
+		if c == 0 {
+			return
+		}
+	}
+	// Per-increment replay with the per-cell state hoisted into locals; a
+	// report can reset the round (total stays, d and pThresh change), so the
+	// locals are written back before and reloaded after each one.
+	idx := cell*b.k + site
+	tot, d, pt := b.total[cell], b.d[idx], b.pThresh[cell]
+	for ; c > 0; c-- {
+		tot++
+		d++
+		if b.rng.Uint64() < pt {
+			b.total[cell], b.d[idx] = tot, d
+			b.reportHYZ(cell, site)
+			tot, d, pt = b.total[cell], b.d[idx], b.pThresh[cell]
+		}
+	}
+	b.total[cell], b.d[idx] = tot, d
+}
+
+// mergeDet replays c increments of cell at site. Exact mode replays per
+// increment (the round-opening threshold is a ceil of the running total);
+// sampling mode advances whole report quanta at a time — a report fires on
+// the increment that lifts the site's pending delta to the quantum, so a run
+// folds into ⌊c/quantum⌋ reports plus a remainder, matching the
+// per-increment loop exactly.
+func (b *Bank) mergeDet(cell, site int, c int64) {
+	for !b.sampling[cell] {
+		if c == 0 {
+			return
+		}
+		b.total[cell]++
+		b.metrics.AddSiteToCoord(1)
+		c--
+		if q := int64(math.Ceil(b.eps * float64(b.total[cell]) / float64(b.k))); q >= 2 {
+			b.openRoundDet(cell)
+		}
+	}
+	idx := cell*b.k + site
+	for c > 0 {
+		need := b.quantum[cell] - b.pending[idx] // increments until a report fires
+		if need > c {
+			b.pending[idx] += c
+			b.total[cell] += c
+			return
+		}
+		b.pending[idx] += need
+		b.total[cell] += need
+		c -= need
+		b.metrics.AddSiteToCoord(1)
+		b.reported[cell] += b.pending[idx]
+		b.pending[idx] = 0
+		if b.reported[cell] >= b.base[cell] {
+			b.openRoundDet(cell) // resets every site's pending, new quantum
+		}
+	}
+}
+
 // Cell returns a Counter view of one cell: the thin per-cell adapter that
 // keeps the historical interface working over the flat layout. For custom
 // banks it returns the underlying counter itself.

@@ -177,6 +177,26 @@ func (b *Bank) restoreQuantum(cell int) {
 // bankStateVersion guards the bank wire format.
 const bankStateVersion = 1
 
+// StateLen returns the exact length in bytes of the bank's MarshalBinary
+// output, or -1 when it is not statically known (custom banks, whose cells
+// serialize through their own marshalers). Checkpoint readers use it to
+// reject corrupt record lengths before allocating (core.Tracker.LoadState).
+func (b *Bank) StateLen() int {
+	const header = 2 + 8 + 8 // version+kind, cells, k
+	switch b.kind {
+	case ExactKind:
+		return header + 8*b.cells
+	case HYZKind:
+		// total, sampling (1 byte/cell), base, estSum, nReporters, d, r.
+		return header + b.cells*(8+1+8+8+8) + 16*b.cells*b.k
+	case DeterministicKind:
+		// total, sampling (1 byte/cell), base, reported, pending.
+		return header + b.cells*(8+1+8+8) + 8*b.cells*b.k
+	default:
+		return -1
+	}
+}
+
 // MarshalBinary implements encoding.BinaryMarshaler for a whole bank: one
 // record covering every cell, replacing the per-cell records of the DBAYES02
 // checkpoint format. Custom banks serialize each cell through its own

@@ -117,6 +117,129 @@ func TestDriveParallelMatchesSequentialReplay(t *testing.T) {
 	}
 }
 
+// exactCellsEqual compares every exact (pair, parent) cell count of two
+// trackers over the same network.
+func exactCellsEqual(t *testing.T, want, got *core.Tracker) {
+	t.Helper()
+	net := want.Network()
+	for i := 0; i < net.Len(); i++ {
+		for pidx := 0; pidx < net.ParentCard(i); pidx++ {
+			for v := 0; v < net.Card(i); v++ {
+				gp, gq := got.ExactCount(i, v, pidx)
+				wp, wq := want.ExactCount(i, v, pidx)
+				if gp != wp || gq != wq {
+					t.Fatalf("cell (%d,%d,%d) = (%d,%d), want (%d,%d)", i, v, pidx, gp, gq, wp, wq)
+				}
+			}
+		}
+	}
+}
+
+// TestDriveParallelBuffered: the delta-buffered wiring of DriveParallel must
+// produce the same exact counts as a sequential replay of the same
+// sub-streams, with the tracker fully published when the driver returns.
+func TestDriveParallelBuffered(t *testing.T) {
+	m := smallModel(t)
+	const sites, perSite = 4, 1500
+	seq, err := core.NewTracker(m.Network(), core.Config{
+		Strategy: core.NonUniform, Eps: 0.1, Sites: sites, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range NewSiteTrainings(m, sites, 27) {
+		for _, ev := range st.NextEvents(nil, perSite) {
+			seq.Update(ev.Site, ev.X)
+		}
+	}
+
+	buf, err := core.NewTracker(m.Network(), core.Config{
+		Strategy: core.NonUniform, Eps: 0.1, Sites: sites, Seed: 5,
+		Shards: 2, DeltaBuffered: true, DeltaFlushEvents: 200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := DriveParallel(buf, NewSiteTrainings(m, sites, 27), perSite, 128)
+	if total != sites*perSite || buf.Events() != sites*perSite {
+		t.Fatalf("ingested %d (tracker %d), want %d — buffered drive must publish before returning",
+			total, buf.Events(), sites*perSite)
+	}
+	exactCellsEqual(t, seq, buf)
+}
+
+// TestDriveWorkStealing drives a Zipf-skewed per-site quota — one pump holds
+// most of the work — through the work-stealing driver in both striped and
+// delta-buffered modes and checks the exact counts against a sequential
+// replay of the same sub-streams.
+func TestDriveWorkStealing(t *testing.T) {
+	m := smallModel(t)
+	counts := []int{4000, 500, 250, 50} // skewed quotas, one hot site
+	sites := len(counts)
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+
+	seq, err := core.NewTracker(m.Network(), core.Config{
+		Strategy: core.NonUniform, Eps: 0.1, Sites: sites, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s, st := range NewSiteTrainings(m, sites, 39) {
+		for _, ev := range st.NextEvents(nil, counts[s]) {
+			seq.Update(ev.Site, ev.X)
+		}
+	}
+
+	for _, mode := range []struct {
+		name     string
+		buffered bool
+	}{{"striped", false}, {"buffered", true}} {
+		mode := mode
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := core.Config{
+				Strategy: core.NonUniform, Eps: 0.1, Sites: sites, Seed: 5,
+				Shards: 2, DeltaBuffered: mode.buffered, DeltaFlushEvents: 300,
+			}
+			tr, err := core.NewTracker(m.Network(), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := DriveWorkStealing(tr, NewSiteTrainings(m, sites, 39), counts, 64)
+			if got != int64(total) || tr.Events() != int64(total) {
+				t.Fatalf("ingested %d (tracker %d), want %d", got, tr.Events(), total)
+			}
+			exactCellsEqual(t, seq, tr)
+		})
+	}
+}
+
+// TestDriveWorkStealingEdgeCases: zero and negative quotas are skipped, and
+// a mismatched counts slice panics.
+func TestDriveWorkStealingEdgeCases(t *testing.T) {
+	m := smallModel(t)
+	tr, err := core.NewTracker(m.Network(), core.Config{
+		Strategy: core.ExactMLE, Sites: 3, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := DriveWorkStealing(tr, NewSiteTrainings(m, 3, 7), []int{0, -5, 120}, 32); n != 120 {
+		t.Fatalf("ingested %d, want 120 (zero/negative quotas skipped)", n)
+	}
+	if tr.Events() != 120 {
+		t.Fatalf("tracker events = %d, want 120", tr.Events())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched counts slice did not panic")
+		}
+	}()
+	DriveWorkStealing(tr, NewSiteTrainings(m, 3, 7), []int{1, 2}, 32)
+}
+
 // TestProduceFeedsIngest wires Produce → Tracker.Ingest with one producer
 // per site over a shared channel.
 func TestProduceFeedsIngest(t *testing.T) {
