@@ -9,12 +9,20 @@
 // prints runtime, throughput and message statistics when the stream is
 // exhausted — the measurements behind Figures 7 and 8 of the paper. The
 // "local" role runs everything in one process over loopback for convenience.
+//
+// -shards stripes the coordinator's reported-count matrix so the per-site
+// reader goroutines ingest in parallel, -batch switches the sites to
+// protocol version 2 (one coalesced frame per batching window instead of
+// one frame per triggering event), and -live drives a mid-run query mix
+// against the coordinator while the sites stream — the paper's
+// query-at-any-time model, answered from the live snapshot path.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"distbayes/internal/cluster"
 	"distbayes/internal/core"
@@ -33,6 +41,10 @@ func main() {
 		events   = flag.Int("events", 100000, "total training events")
 		seed     = flag.Uint64("seed", 1, "stream seed")
 		latency  = flag.Uint("latency", 0, "artificial per-frame latency at sites (microseconds)")
+		shards   = flag.Int("shards", 0, "coordinator lock stripes (0/1 = sequential)")
+		batch    = flag.Int("batch", 0, "site batching window in events (0 = one frame per triggering event)")
+		live     = flag.Uint("live", 0, "mid-run query interval in microseconds (0 = no live query mix)")
+		hot      = flag.Float64("hot", 0, "fraction of the stream routed to site 0 (skewed-routing regime)")
 	)
 	flag.Parse()
 
@@ -41,15 +53,19 @@ func main() {
 		fatal(err)
 	}
 	cfg := cluster.Config{
-		NetName:       *netName,
-		CPTSeed:       *seed + 0xC0DE,
-		Strategy:      st,
-		Eps:           *eps,
-		Delta:         *delta,
-		Sites:         *sites,
-		Events:        *events,
-		StreamSeed:    *seed,
-		LatencyMicros: uint32(*latency),
+		NetName:         *netName,
+		CPTSeed:         *seed + 0xC0DE,
+		Strategy:        st,
+		Eps:             *eps,
+		Delta:           *delta,
+		Sites:           *sites,
+		Events:          *events,
+		StreamSeed:      *seed,
+		LatencyMicros:   uint32(*latency),
+		Shards:          *shards,
+		SiteBatchEvents: *batch,
+		LiveQueryMicros: uint32(*live),
+		HotSiteShare:    *hot,
 	}
 
 	switch *role {
@@ -60,7 +76,21 @@ func main() {
 		}
 		defer co.Close()
 		fmt.Printf("coordinator listening on %s, waiting for %d sites\n", co.Addr(), cfg.Sites)
+		// The query mix runs against the coordinator while Serve ingests:
+		// the standalone-role mirror of RunLocal's LiveQueryMicros driver.
+		stop := make(chan struct{})
+		queries := make(chan int64, 1)
+		if *live > 0 {
+			go func() {
+				queries <- cluster.LiveQueryMix(co, cfg.StreamSeed^0x11fe,
+					time.Duration(*live)*time.Microsecond, stop)
+			}()
+		}
 		res, err := co.Serve()
+		close(stop)
+		if *live > 0 {
+			res.LiveQueries = <-queries
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -88,6 +118,9 @@ func report(res cluster.Result) {
 	fmt.Printf("updates     %d\n", res.Stats.Updates)
 	fmt.Printf("runtime     %v\n", res.Runtime)
 	fmt.Printf("throughput  %.0f events/sec\n", res.Throughput)
+	if res.LiveQueries > 0 {
+		fmt.Printf("live-queries %d\n", res.LiveQueries)
+	}
 }
 
 func fatal(err error) {

@@ -60,11 +60,15 @@
 // explicit Flush, or the barrier every query and checkpoint path runs), with
 // the counter message protocol replayed on the merged totals. Exact counts
 // and the (ε, δ) guarantee are preserved; Events and Messages lag until a
-// publish. See the core.Tracker documentation for the full three-mode
-// contract. SaveState/LoadState require ingestion to be quiesced for a
-// meaningful stream position, as does any out-of-band mutation of
-// Config.CounterFactory counters (e.g. the decay banks' Tick), whose
-// mutation the stripe locks only cover inside Inc.
+// publish. Config.DeltaSparse switches the buffers to a sparse touched-cell
+// representation whose memory and flush cost scale with the cells a window
+// actually dirtied rather than the whole network — the right choice for
+// large networks (munin-scale) or small cadences, bit-identical to the
+// dense merge for the same flush points. See the core.Tracker documentation
+// for the full three-mode contract. SaveState/LoadState require ingestion
+// to be quiesced for a meaningful stream position, as does any out-of-band
+// mutation of Config.CounterFactory counters (e.g. the decay banks' Tick),
+// whose mutation the stripe locks only cover inside Inc.
 //
 // # Storage and query performance
 //
@@ -76,9 +80,24 @@
 // guarded by per-stripe version counters: a query locks each stripe at most
 // once to read whole variable rows (see Tracker.ReadCPDRows and the CPDRows
 // scratch type), and repeated queries between ingest flushes reuse the
-// snapshot without taking any locks. Trackers with a CounterFactory skip
-// the caching (factory counters may change out of band) but keep the
-// batched reads.
+// snapshot without taking any locks. Retired snapshots recycle their factor
+// rows through a per-variable pool, so a steady-state ingest+query mix
+// rebuilds dirty rows from recycled storage instead of allocating one row
+// per variable per rebuild. Trackers with a CounterFactory skip the caching
+// (factory counters may change out of band) but keep the batched reads.
+//
+// # Distributed deployment
+//
+// internal/cluster runs the same architecture over real TCP: k site
+// processes stream locally-generated events through the site half of the
+// counter protocol to a coordinator whose reported-count matrix is striped
+// exactly like the in-process tracker (cluster.Config.Shards) and whose
+// QueryProb/EstimatedModel answer at any time during a live run from
+// version-validated snapshots — the paper's query-at-any-time model. Sites
+// can coalesce report decisions into delta batches
+// (cluster.Config.SiteBatchEvents, wire-protocol version 2), shipping a
+// small fraction of the frames with bit-identical final estimates. See the
+// cluster package documentation and cmd/bncluster.
 package distbayes
 
 import (

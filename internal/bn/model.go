@@ -88,6 +88,46 @@ func NewModel(net *Network, cpds []*CPT) (*Model, error) {
 	return &Model{net: net, cpds: cpds}, nil
 }
 
+// NewNormalizedModel builds a Model from raw per-variable weights: fill
+// populates variable i's flat parent-major table (tbl[pidx*card + v], length
+// card·kcard) with raw weights — tracked counts, estimates or ratios — and
+// the constructor clamps negatives to zero and normalizes each parent
+// column, substituting a uniform column when one has no mass. It is the one
+// estimate-to-model conversion shared by the in-process tracker and the
+// cluster coordinator, so the two serving paths cannot drift apart.
+func NewNormalizedModel(net *Network, fill func(i int, tbl []float64)) (*Model, error) {
+	cpds := make([]*CPT, net.Len())
+	for i := 0; i < net.Len(); i++ {
+		j, k := net.Card(i), net.ParentCard(i)
+		tbl := make([]float64, j*k)
+		fill(i, tbl)
+		for pidx := 0; pidx < k; pidx++ {
+			sum := 0.0
+			for v := 0; v < j; v++ {
+				if tbl[pidx*j+v] < 0 {
+					tbl[pidx*j+v] = 0
+				}
+				sum += tbl[pidx*j+v]
+			}
+			if sum <= 0 {
+				for v := 0; v < j; v++ {
+					tbl[pidx*j+v] = 1 / float64(j)
+				}
+			} else {
+				for v := 0; v < j; v++ {
+					tbl[pidx*j+v] /= sum
+				}
+			}
+		}
+		var err error
+		cpds[i], err = NewCPT(j, k, tbl)
+		if err != nil {
+			return nil, fmt.Errorf("bn: normalized CPD %d: %w", i, err)
+		}
+	}
+	return NewModel(net, cpds)
+}
+
 // MustModel is NewModel that panics on error.
 func MustModel(net *Network, cpds []*CPT) *Model {
 	m, err := NewModel(net, cpds)

@@ -25,13 +25,44 @@ type Config struct {
 	Eps, Delta float64
 	// Sites is k.
 	Sites int
-	// Events is the total stream length, split evenly across sites.
+	// Events is the total stream length, split across sites (evenly unless
+	// HotSiteShare routes a skewed share to site 0).
 	Events int
 	// StreamSeed seeds the per-site event streams.
 	StreamSeed uint64
 	// LatencyMicros adds an artificial per-frame delay at sites, emulating
 	// WAN round-trips on a loopback deployment.
 	LatencyMicros uint32
+	// Shards is the number of lock stripes guarding the coordinator's
+	// reported-count matrix, mirroring core.Config.Shards: counter id c
+	// belongs to stripe c mod Shards, each stripe carries a version counter,
+	// and the live query paths (QueryProb, EstimatedModel) revalidate a
+	// cached estimate snapshot against the stripe versions, rebuilding only
+	// the stripes that moved. 0 and 1 both mean a single stripe — the
+	// sequential mode that, with batching off, reproduces the historical
+	// coordinator bit for bit.
+	Shards int
+	// SiteBatchEvents switches the sites to protocol version 2: each site
+	// coalesces its report decisions into a local delta batch and ships one
+	// varint-compressed frameUpdates2 frame every SiteBatchEvents events
+	// instead of one frame per triggering event. 0 keeps the version-1
+	// one-frame-per-event behavior. Batching delays a report by at most one
+	// window, which the (ε, δ) envelope absorbs exactly like the
+	// trailing-gap the report probability already models; see the package
+	// comment for the measured effect.
+	SiteBatchEvents int
+	// HotSiteShare, when positive, routes that fraction of the stream to
+	// site 0 and splits the rest evenly — the skewed-routing regime of
+	// deviation #1 (sites estimate global counts as k·local, which a hot
+	// site breaks). 0 routes evenly. See the package comment for the
+	// measured imprecision under skew.
+	HotSiteShare float64
+	// LiveQueryMicros, when positive, makes RunLocal drive a mid-run query
+	// mix against the coordinator: one QueryProb on a random assignment
+	// every LiveQueryMicros microseconds (every eighth one an
+	// EstimatedModel), for as long as the sites stream. The answers come
+	// from the live snapshot path — the paper's query-at-any-time model.
+	LiveQueryMicros uint32
 }
 
 func (c Config) validate() error {
@@ -47,7 +78,45 @@ func (c Config) validate() error {
 	if c.Strategy != core.ExactMLE && !(c.Eps > 0 && c.Eps < 1) {
 		return fmt.Errorf("cluster: eps = %v, want 0 < eps < 1", c.Eps)
 	}
+	if c.Shards < 0 {
+		return fmt.Errorf("cluster: shards = %d, want >= 0", c.Shards)
+	}
+	if c.SiteBatchEvents < 0 {
+		return fmt.Errorf("cluster: site batch cadence = %d, want >= 0", c.SiteBatchEvents)
+	}
+	if c.HotSiteShare < 0 || c.HotSiteShare >= 1 {
+		return fmt.Errorf("cluster: hot-site share = %v, want [0, 1)", c.HotSiteShare)
+	}
 	return nil
+}
+
+// eventsFor returns the number of stream events site id generates. With
+// HotSiteShare = 0 the stream splits as evenly as possible; otherwise site 0
+// takes ⌈share·Events⌉ and the rest splits evenly across the other sites.
+func (c Config) eventsFor(id uint32) int {
+	k := c.Sites
+	if c.HotSiteShare > 0 && k > 1 {
+		hot := int(math.Ceil(c.HotSiteShare * float64(c.Events)))
+		if hot > c.Events {
+			hot = c.Events
+		}
+		if id == 0 {
+			return hot
+		}
+		rest := c.Events - hot
+		per, rem := rest/(k-1), rest%(k-1)
+		ev := per
+		if int(id-1) < rem {
+			ev++
+		}
+		return ev
+	}
+	per, rem := c.Events/k, c.Events%k
+	ev := per
+	if int(id) < rem {
+		ev++
+	}
+	return ev
 }
 
 // Result summarizes a completed cluster run.
@@ -58,20 +127,61 @@ type Result struct {
 	Runtime time.Duration
 	// Throughput is events per second over Runtime.
 	Throughput float64
+	// LiveQueries is the number of mid-run queries RunLocal's query mix
+	// issued against the coordinator while the sites streamed (0 unless
+	// Config.LiveQueryMicros is set).
+	LiveQueries int64
 }
 
-// Coordinator is the query-answering hub of the monitoring system.
+// coStripe is one lock stripe of the coordinator's reported-count matrix:
+// counter id c belongs to stripe c mod len(stripes). version counts
+// mutations (bumped under mu once per applied frame batch) and is read with
+// atomic loads by the snapshot validator.
+type coStripe struct {
+	mu      sync.Mutex
+	version atomic.Uint64
+}
+
+// estSnapshot is one immutable materialization of every counter's estimate,
+// validated against the stripe versions exactly like core.Tracker's model
+// snapshots: a query reuses the cached snapshot while every stripe version
+// still matches and rebuilds only the stripes that moved.
+type estSnapshot struct {
+	// versions[s] is stripes[s].version at the time stripe s's estimates
+	// were computed (or inherited from the previous snapshot).
+	versions []uint64
+	// est[c] is counter c's estimate: Σ_sites reported + trailing-gap
+	// adjustment.
+	est []float64
+	// model caches the normalized bn.Model built from est (EstimatedModel),
+	// populated lazily at most once per snapshot.
+	model atomic.Pointer[bn.Model]
+}
+
+// Coordinator is the query-answering hub of the monitoring system. Unlike
+// the historical implementation, which materialized estimates once after
+// Serve returned, queries are valid at any time — during a live run they are
+// served from a version-validated snapshot of the striped reported-count
+// matrix, the paper's query-at-any-time model.
 type Coordinator struct {
 	cfg    Config
 	net    *bn.Network
 	layout *Layout
 	ln     net.Listener
+	sqrtK  float64
 
+	// stripes guard reported by counter id (id mod len(stripes)).
+	stripes []coStripe
 	// reported[site][counter] is the site's last reported local count.
+	// Writes take the counter's stripe lock; per-site rows mean two sites
+	// never write the same cell, but queries read across all sites.
 	reported [][]int64
-	// est caches the post-Serve estimate of every counter (see estimates).
-	estOnce sync.Once
-	est     []float64
+
+	// snap is the last published estimate snapshot (nil until the first
+	// query); rebuildMu serializes rebuilds so concurrent queries do not
+	// duplicate the stripe walks.
+	snap      atomic.Pointer[estSnapshot]
+	rebuildMu sync.Mutex
 
 	frames  atomic.Int64
 	updates atomic.Int64
@@ -99,7 +209,21 @@ func NewCoordinator(cfg Config, addr string) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	co := &Coordinator{cfg: cfg, net: netw, layout: layout, ln: ln}
+	nStripes := cfg.Shards
+	if nStripes <= 1 {
+		nStripes = 1
+	}
+	if n := int(layout.NumCounters()); nStripes > n && n > 0 {
+		nStripes = n // more stripes than counters buys nothing
+	}
+	co := &Coordinator{
+		cfg:     cfg,
+		net:     netw,
+		layout:  layout,
+		ln:      ln,
+		sqrtK:   math.Sqrt(float64(cfg.Sites)),
+		stripes: make([]coStripe, nStripes),
+	}
 	co.reported = make([][]int64, cfg.Sites)
 	for i := range co.reported {
 		co.reported[i] = make([]int64, layout.NumCounters())
@@ -115,6 +239,7 @@ func (co *Coordinator) Close() error { return co.ln.Close() }
 
 // Serve accepts the configured number of sites, runs the training protocol
 // to completion, distributes closing stats, and returns the run result.
+// Queries may be issued concurrently with Serve at any time.
 func (co *Coordinator) Serve() (Result, error) {
 	type siteConn struct {
 		raw net.Conn
@@ -152,17 +277,14 @@ func (co *Coordinator) Serve() (Result, error) {
 			raw.Close()
 			return Result{}, fmt.Errorf("cluster: site id %d out of range", id)
 		}
+		// The handshake is done: widen the read limit from the control-frame
+		// bound to the largest update frame the layout admits.
+		c.setReadLimit(updatesPayloadCap(co.layout.NumCounters()))
 		conns = append(conns, siteConn{raw: raw, c: c, id: id})
 	}
 
-	// Distribute start configs: events split as evenly as possible.
-	per := co.cfg.Events / co.cfg.Sites
-	rem := co.cfg.Events % co.cfg.Sites
+	// Distribute start configs (events split per Config.eventsFor).
 	for _, sc := range conns {
-		ev := per
-		if int(sc.id) < rem {
-			ev++
-		}
 		start := StartConfig{
 			NetName:       co.cfg.NetName,
 			CPTSeed:       co.cfg.CPTSeed,
@@ -171,9 +293,10 @@ func (co *Coordinator) Serve() (Result, error) {
 			Delta:         co.cfg.Delta,
 			Sites:         uint32(co.cfg.Sites),
 			Site:          sc.id,
-			Events:        uint64(ev),
+			Events:        uint64(co.cfg.eventsFor(sc.id)),
 			StreamSeed:    co.cfg.StreamSeed,
 			LatencyMicros: co.cfg.LatencyMicros,
+			BatchEvents:   uint32(co.cfg.SiteBatchEvents),
 		}
 		if err := sc.c.writeFrame(frameStart, encodeStart(start)); err != nil {
 			return Result{}, err
@@ -183,6 +306,9 @@ func (co *Coordinator) Serve() (Result, error) {
 		}
 	}
 
+	// One reader goroutine per connection: frames are batch-decoded and
+	// folded into the striped reported matrix, so k sites ingest in parallel
+	// while queries run against the same stripes.
 	var wg sync.WaitGroup
 	errs := make([]error, len(conns))
 	for i, sc := range conns {
@@ -224,10 +350,11 @@ func (co *Coordinator) Serve() (Result, error) {
 	return res, nil
 }
 
-// serveSite consumes one site's frames until its Done marker.
+// serveSite consumes one site's frames until its Done marker, decoding both
+// the version-1 per-event format and the version-2 coalesced format.
 func (co *Coordinator) serveSite(c *conn, site uint32) error {
-	row := co.reported[site]
 	var ups []Update
+	buckets := make([][]Update, len(co.stripes)) // per-stripe scratch, reused across frames
 	for {
 		t, payload, err := c.readFrame()
 		if err != nil {
@@ -243,15 +370,17 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 			if err != nil {
 				return err
 			}
-			for _, u := range ups {
-				if u.Counter >= co.layout.NumCounters() {
-					return fmt.Errorf("cluster: site %d counter %d out of range", site, u.Counter)
-				}
-				// Reports are monotone local counts; keep the maximum to be
-				// robust to reordering within the stream.
-				if u.LocalCount > row[u.Counter] {
-					row[u.Counter] = u.LocalCount
-				}
+			if err := co.applyUpdates(site, ups, buckets); err != nil {
+				return err
+			}
+			co.updates.Add(int64(len(ups)))
+		case frameUpdates2:
+			ups, err = decodeUpdates2(ups, payload, co.layout.NumCounters())
+			if err != nil {
+				return err
+			}
+			if err := co.applyUpdates(site, ups, buckets); err != nil {
+				return err
 			}
 			co.updates.Add(int64(len(ups)))
 		case frameDone:
@@ -267,47 +396,158 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 	}
 }
 
-// Estimate returns the coordinator's estimate of a counter's global count:
+// applyUpdates folds one decoded frame into the reported matrix: one pass
+// buckets the frame's updates by stripe (buckets is the caller's reusable
+// per-stripe scratch), then each touched stripe is locked once, applied in
+// ascending stripe order, and has its version bumped. Reports are monotone
+// local counts; the maximum is kept to stay robust to reordering within a
+// stream.
+func (co *Coordinator) applyUpdates(site uint32, ups []Update, buckets [][]Update) error {
+	total := co.layout.NumCounters()
+	for _, u := range ups {
+		if u.Counter >= total {
+			return fmt.Errorf("cluster: site %d counter %d out of range", site, u.Counter)
+		}
+	}
+	row := co.reported[site]
+	nStripes := uint32(len(co.stripes))
+	if nStripes == 1 {
+		st := &co.stripes[0]
+		st.mu.Lock()
+		for _, u := range ups {
+			if u.LocalCount > row[u.Counter] {
+				row[u.Counter] = u.LocalCount
+			}
+		}
+		st.version.Add(1)
+		st.mu.Unlock()
+		return nil
+	}
+	for _, u := range ups {
+		s := u.Counter % nStripes
+		buckets[s] = append(buckets[s], u)
+	}
+	for s := range buckets {
+		b := buckets[s]
+		if len(b) == 0 {
+			continue
+		}
+		st := &co.stripes[s]
+		st.mu.Lock()
+		for _, u := range b {
+			if u.LocalCount > row[u.Counter] {
+				row[u.Counter] = u.LocalCount
+			}
+		}
+		st.version.Add(1)
+		st.mu.Unlock()
+		buckets[s] = b[:0]
+	}
+	return nil
+}
+
+// stripeOf returns the stripe guarding counter id.
+func (co *Coordinator) stripeOf(id uint32) *coStripe {
+	return &co.stripes[id%uint32(len(co.stripes))]
+}
+
+// estimateLocked computes counter id's estimate from the reported matrix:
 // the sum over sites of the last reported local count plus the trailing-gap
-// adjustment (see layout.go). Only valid after Serve returns.
-func (co *Coordinator) Estimate(id uint32) float64 {
+// adjustment (see layout.go). Callers hold id's stripe lock.
+func (co *Coordinator) estimateLocked(id uint32) float64 {
 	eps := co.layout.Eps(id)
-	sqrtK := math.Sqrt(float64(co.cfg.Sites))
 	est := 0.0
 	for site := 0; site < co.cfg.Sites; site++ {
 		r := co.reported[site][id]
-		est += float64(r) + adjustmentSqrtK(co.cfg.Sites, sqrtK, eps, r)
+		est += float64(r) + adjustmentSqrtK(co.cfg.Sites, co.sqrtK, eps, r)
 	}
 	return est
 }
 
-// estimates materializes every counter's estimate in one site-major pass
-// over the flat reported rows — each site's row is walked sequentially
-// (cache-friendly against the [site][counter] layout) instead of striding
-// across all site rows once per counter as the per-cell Estimate does.
-// Computed once on first use and cached: query entry points are only valid
-// after Serve returns, when the reported state is quiescent.
-func (co *Coordinator) estimates() []float64 {
-	co.estOnce.Do(func() {
-		k := co.cfg.Sites
-		sqrtK := math.Sqrt(float64(k))
-		est := make([]float64, co.layout.NumCounters())
-		for site := 0; site < k; site++ {
-			for c, r := range co.reported[site] {
-				est[c] += float64(r) + adjustmentSqrtK(k, sqrtK, co.layout.Eps(uint32(c)), r)
+// Estimate returns the coordinator's current estimate of a counter's global
+// count, read live under the counter's stripe lock. Valid at any time —
+// during a run it reflects the reports received so far.
+func (co *Coordinator) Estimate(id uint32) float64 {
+	st := co.stripeOf(id)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return co.estimateLocked(id)
+}
+
+// snapFresh reports whether snap matches every stripe's live version.
+func (co *Coordinator) snapFresh(snap *estSnapshot) bool {
+	for s := range co.stripes {
+		if snap.versions[s] != co.stripes[s].version.Load() {
+			return false
+		}
+	}
+	return true
+}
+
+// snapshot returns a current estimate snapshot, rebuilding only the stripes
+// whose version moved since the cached one was built. Mirrors
+// core.Tracker's snapshot machinery: repeated queries against a quiescent
+// coordinator share one snapshot with no lock traffic, and a query racing
+// ingestion rebuilds exactly the dirty stripes. Like the tracker, a
+// snapshot taken while frames are in flight may interleave stripes from
+// slightly different stream positions — the same consistency the per-cell
+// Estimate path has.
+func (co *Coordinator) snapshot() *estSnapshot {
+	if s := co.snap.Load(); s != nil && co.snapFresh(s) {
+		return s
+	}
+	co.rebuildMu.Lock()
+	defer co.rebuildMu.Unlock()
+	old := co.snap.Load()
+	if old != nil && co.snapFresh(old) {
+		return old
+	}
+	total := co.layout.NumCounters()
+	ns := &estSnapshot{
+		versions: make([]uint64, len(co.stripes)),
+		est:      make([]float64, total),
+	}
+	if old != nil {
+		copy(ns.est, old.est) // start from the previous estimates; dirty stripes overwrite
+	}
+	nStripes := uint32(len(co.stripes))
+	for s := range co.stripes {
+		st := &co.stripes[s]
+		if old != nil {
+			if v := st.version.Load(); v == old.versions[s] {
+				ns.versions[s] = v // inherited via the bulk copy above
+				continue
 			}
 		}
-		co.est = est
-	})
-	return co.est
+		st.mu.Lock()
+		// Site-major walk: one pass per site row keeps the reads contiguous
+		// within a row instead of striding across every site's row once per
+		// counter. Accumulation order (site 0..k-1 from zero) matches
+		// estimateLocked's, so both paths stay bit-identical.
+		for id := uint32(s); id < total; id += nStripes {
+			ns.est[id] = 0
+		}
+		for site := 0; site < co.cfg.Sites; site++ {
+			row := co.reported[site]
+			for id := uint32(s); id < total; id += nStripes {
+				r := row[id]
+				ns.est[id] += float64(r) + adjustmentSqrtK(co.cfg.Sites, co.sqrtK, co.layout.Eps(id), r)
+			}
+		}
+		ns.versions[s] = st.version.Load() // under mu: stable
+		st.mu.Unlock()
+	}
+	co.snap.Store(ns)
+	return ns
 }
 
 // QueryProb answers a joint-probability query from the tracked counters
-// (Algorithm 3 over the cluster state), served from the batch-materialized
-// estimate vector — after the one-time site-major pass, each query is pure
-// array lookups. Only valid after Serve returns.
+// (Algorithm 3 over the cluster state), served from the version-validated
+// estimate snapshot. Valid at any time: during a live run the answer
+// reflects the reports received so far — the paper's query-at-any-time
+// model — and after Serve returns it is the final estimate.
 func (co *Coordinator) QueryProb(x []int) float64 {
-	est := co.estimates()
+	est := co.snapshot().est
 	p := 1.0
 	for i := 0; i < co.net.Len(); i++ {
 		pidx := co.net.ParentIndex(i, x)
@@ -318,6 +558,47 @@ func (co *Coordinator) QueryProb(x []int) float64 {
 		p *= est[co.layout.PairID(i, x[i], pidx)] / den
 	}
 	return p
+}
+
+// EstimatedModel materializes the tracked parameters into a normalized
+// bn.Model, built from the same estimate snapshot QueryProb reads and
+// cached per snapshot (repeated calls between reports are free). Rows whose
+// parent configuration has no mass become uniform. Valid at any time, like
+// QueryProb.
+func (co *Coordinator) EstimatedModel() (*bn.Model, error) {
+	snap := co.snapshot()
+	if m := snap.model.Load(); m != nil {
+		return m, nil
+	}
+	est := snap.est
+	m, err := bn.NewNormalizedModel(co.net, func(i int, tbl []float64) {
+		j, k := co.net.Card(i), co.net.ParentCard(i)
+		for pidx := 0; pidx < k; pidx++ {
+			den := est[co.layout.ParID(i, pidx)]
+			for v := 0; v < j; v++ {
+				if den > 0 {
+					tbl[pidx*j+v] = est[co.layout.PairID(i, v, pidx)] / den
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.model.Store(m)
+	return m, nil
+}
+
+// LiveStats returns a point-in-time snapshot of the protocol counters —
+// frames, update entries and completed events seen so far. Safe to call
+// while Serve is running; Events counts only sites that already sent their
+// Done marker.
+func (co *Coordinator) LiveStats() Stats {
+	return Stats{
+		Frames:  co.frames.Load(),
+		Updates: co.updates.Load(),
+		Events:  co.events.Load(),
+	}
 }
 
 // Network returns the shared network structure.

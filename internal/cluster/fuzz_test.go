@@ -1,0 +1,144 @@
+package cluster
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzMaxCounters is the layout size the updates2 decoder is fuzzed
+// against: small enough that out-of-range ids are easy for the fuzzer to
+// construct, large enough that multi-byte varint deltas occur.
+const fuzzMaxCounters = 1000
+
+// FuzzDecodeFrame feeds arbitrary bytes to every frame-payload decoder of
+// the wire protocol. The first input byte selects the decoder (mod the
+// decoder count), the rest is the payload: whatever the bytes — truncated,
+// bit-flipped, adversarial lengths or counts — every decoder must return an
+// error or a well-formed result, never panic and never allocate beyond what
+// the validated entry counts admit (the frame-IO mirror of FuzzLoadState).
+// For updates2 a successful decode is additionally re-encoded and
+// re-decoded, pinning the codec round trip on fuzzer-discovered inputs.
+func FuzzDecodeFrame(f *testing.F) {
+	for _, seed := range fuzzFrameSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		payload := data[1:]
+		switch data[0] % 6 {
+		case 0:
+			_, _ = decodeStart(payload)
+		case 1:
+			_, _ = decodeUpdates(nil, payload)
+		case 2:
+			ups, err := decodeUpdates2(nil, payload, fuzzMaxCounters)
+			if err != nil {
+				return
+			}
+			for i, u := range ups {
+				if u.Counter >= fuzzMaxCounters || u.LocalCount < 0 {
+					t.Fatalf("decodeUpdates2 accepted invalid entry %d: %+v", i, u)
+				}
+				if i > 0 && ups[i-1].Counter >= u.Counter {
+					t.Fatalf("decodeUpdates2 accepted non-ascending ids at %d", i)
+				}
+			}
+			again, err := decodeUpdates2(nil, encodeUpdates2(nil, ups), fuzzMaxCounters)
+			if err != nil {
+				t.Fatalf("re-decode of re-encoded updates2 failed: %v", err)
+			}
+			if len(again) != len(ups) {
+				t.Fatalf("round trip changed entry count: %d != %d", len(again), len(ups))
+			}
+			for i := range ups {
+				if again[i] != ups[i] {
+					t.Fatalf("round trip changed entry %d: %+v != %+v", i, again[i], ups[i])
+				}
+			}
+		case 3:
+			_, _, _ = decodeDone(payload)
+		case 4:
+			_, _ = decodeStats(payload)
+		case 5:
+			_, _ = decodeHello(payload)
+		}
+	})
+}
+
+// fuzzFrameSeeds builds one valid payload per decoder (prefixed with its
+// selector byte) plus truncated and bit-flipped mutants, so the fuzzer
+// starts deep inside each format instead of at the first length check.
+func fuzzFrameSeeds() [][]byte {
+	start := encodeStart(StartConfig{
+		NetName: "alarm", CPTSeed: 42, Strategy: 3, Eps: 0.1, Delta: 0.25,
+		Sites: 7, Site: 3, Events: 123456, StreamSeed: 99, LatencyMicros: 250,
+		BatchEvents: 128,
+	})
+	v1 := encodeUpdates(nil, []Update{{Counter: 1, LocalCount: 5}, {Counter: 900, LocalCount: 31}})
+	v2 := encodeUpdates2(nil, []Update{
+		{Counter: 0, LocalCount: 1}, {Counter: 7, LocalCount: 300}, {Counter: 900, LocalCount: 1 << 40},
+	})
+	done := encodeDone(9, 777)
+	stats := encodeStats(Stats{Frames: 1, Updates: 2, Events: 3})
+	hello := encodeHello(12)
+
+	var seeds [][]byte
+	add := func(sel byte, payload []byte) {
+		full := append([]byte{sel}, payload...)
+		seeds = append(seeds, full)
+		if len(payload) > 2 {
+			seeds = append(seeds, append([]byte{sel}, payload[:len(payload)/2]...))
+			flipped := append([]byte{sel}, payload...)
+			flipped[1+len(payload)/3] ^= 0x40
+			seeds = append(seeds, flipped)
+		}
+	}
+	add(0, start)
+	add(0, start[:len(start)-4]) // version-1 start frame
+	add(1, v1)
+	add(2, v2)
+	add(3, done)
+	add(4, stats)
+	add(5, hello)
+	// Adversarial updates2 headers: huge declared count, max-varint count.
+	seeds = append(seeds, []byte{2, 0xff, 0xff, 0xff, 0xff, 0x0f, 1, 1})
+	seeds = append(seeds, append([]byte{2}, maxUvarint()...))
+	return seeds
+}
+
+func maxUvarint() []byte {
+	b := make([]byte, 0, 10)
+	v := uint64(math.MaxUint64)
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// TestWriteFuzzDecodeFrameCorpus regenerates the committed seed corpus under
+// testdata/fuzz when DISTBAYES_WRITE_FUZZ_CORPUS is set; normally it only
+// verifies the corpus directory exists.
+func TestWriteFuzzDecodeFrameCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	if os.Getenv("DISTBAYES_WRITE_FUZZ_CORPUS") == "" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("seed corpus missing: %v (regenerate with DISTBAYES_WRITE_FUZZ_CORPUS=1)", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzFrameSeeds() {
+		payload := []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n")
+		if err := os.WriteFile(filepath.Join(dir, "seed"+strconv.Itoa(i)), payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

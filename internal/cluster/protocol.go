@@ -7,7 +7,34 @@
 // Each site generates its share of the training stream locally (the stream
 // is horizontally partitioned), runs the site-side half of the approximate
 // counters, and sends counter updates. The coordinator maintains the
-// tracked model and answers queries.
+// tracked model and answers queries *at any time* — the paper's query
+// model — not just after the stream ends.
+//
+// The coordinator is sharded the same way the in-process core.Tracker is:
+// one reader goroutine per site connection batch-decodes frames and folds
+// them into a reported-count matrix guarded by lock stripes (counter id c
+// belongs to stripe c mod Config.Shards), each stripe carrying a version
+// counter. The live query paths (Coordinator.QueryProb, EstimatedModel)
+// are served from an immutable estimate snapshot revalidated against the
+// stripe versions — repeated queries against a quiescent coordinator share
+// one snapshot with no lock traffic, and a query racing ingestion rebuilds
+// exactly the stripes that moved. With Shards ≤ 1 and batching off the
+// coordinator reproduces the historical serial implementation bit for bit
+// (pinned by TestSequentialClusterBitCompat's PR 3 HEAD goldens).
+//
+// The wire protocol is versioned by frame type. A version-1 site ships one
+// fixed-width frameUpdates frame per event that triggered a report; a
+// version-2 site (StartConfig.BatchEvents > 0) coalesces a batching window
+// of report decisions into a local delta batch and ships one
+// varint-compressed frameUpdates2 frame per window. Report decisions are
+// made per increment by the same seeded site RNGs either way and counts
+// are monotone, so batching leaves every final estimate bit-identical
+// while sending a small fraction of the frames
+// (TestBatchedSitesBitIdenticalFewerFrames); a report is delayed by at
+// most one window, staleness of the same kind as the trailing gap the
+// report probability already models. The coordinator decodes both formats
+// and every decoder length-validates a frame against the layout before
+// allocating (updatesPayloadCap, fuzzed by FuzzDecodeFrame).
 //
 // Two deliberate deviations from the in-process simulation
 // (internal/counter) are documented here:
@@ -17,10 +44,16 @@
 //     uniformly, the paper's setup) and derives the report probability
 //     p = min(1, √k/(ε'·k·n_local)) from it. This removes the
 //     synchronization round-trips without changing the asymptotic message
-//     cost; the trade-off is documented imprecision under skewed routing.
+//     cost; the trade-off is imprecision under skewed routing, measured by
+//     TestSkewedRoutingImprecision: on ALARM with ε = 0.1, k = 8 and 40K
+//     events, the worst relative error over well-populated counters was
+//     ≈0.003 (0.03·ε) under even routing and ≈0.011 (0.11·ε) with 90% of
+//     the stream routed to one hot site — roughly a 3× degradation, still
+//     an order of magnitude inside the ε budget.
 //  2. The paper's transmission optimization is applied: all counter updates
 //     triggered by one event are merged into a single frame, and an event
-//     that triggers no update sends nothing.
+//     that triggers no update sends nothing. Version-2 batching extends
+//     the same idea across events within a window.
 package cluster
 
 import (
@@ -31,7 +64,12 @@ import (
 	"math"
 )
 
-// Frame types.
+// Frame types. The wire protocol is versioned by frame type: a version-1
+// site sends fixed-width frameUpdates frames, a version-2 site coalesces a
+// batching window into one varint-compressed frameUpdates2 frame. The
+// coordinator decodes both, so old sites interoperate with a new
+// coordinator; the StartConfig encoding likewise accepts the version-1
+// length (see decodeStart).
 const (
 	// frameHello introduces a site: payload = site id (u32).
 	frameHello byte = 1
@@ -46,11 +84,41 @@ const (
 	// frameStats is the coordinator's closing reply: payload = total frames,
 	// total updates, total events (i64 each).
 	frameStats byte = 5
+	// frameUpdates2 carries a coalesced batching window (protocol version 2,
+	// site → coordinator): uvarint entry count, then per entry the uvarint
+	// counter-id delta (ids strictly ascending; the first delta is the id
+	// itself) and the uvarint local count. Within a window only the latest
+	// local count per counter survives — counts are monotone, so coalescing
+	// loses nothing the trailing-gap adjustment does not already model.
+	frameUpdates2 byte = 6
 )
 
 // maxFrame bounds a frame payload; large networks send at most 2n update
 // entries of 12 bytes per event.
 const maxFrame = 1 << 22
+
+// maxControlFrame bounds the control frames (hello, start, done, stats),
+// none of which come close to 4 KB; connections start at this limit and the
+// coordinator widens it to the layout-derived update bound after the
+// handshake (see updatesPayloadCap).
+const maxControlFrame = 1 << 12
+
+// updatesPayloadCap is the largest well-formed update payload for a layout
+// of n counters, used to validate a frame header against the layout before
+// the payload is allocated (the frame-IO mirror of LoadState's StateLen
+// check). A version-1 frame merges the distinct counters one event touched
+// (≤ n entries of 12 bytes); a version-2 frame coalesces a window to at
+// most n entries of ≤ 15 varint bytes plus the count header.
+func updatesPayloadCap(numCounters uint32) uint32 {
+	cap := uint64(binary.MaxVarintLen32) + uint64(numCounters)*(binary.MaxVarintLen32+binary.MaxVarintLen64)
+	if cap > maxFrame {
+		return maxFrame
+	}
+	if cap < maxControlFrame {
+		return maxControlFrame // keep room for the done frame
+	}
+	return uint32(cap)
+}
 
 // Update is one counter update entry inside a frameUpdates frame.
 type Update struct {
@@ -81,6 +149,11 @@ type StartConfig struct {
 	StreamSeed uint64
 	// LatencyMicros is an artificial per-frame delay emulating WAN RTT.
 	LatencyMicros uint32
+	// BatchEvents is the site-side delta-batching cadence (protocol version
+	// 2): the site coalesces report decisions into a local delta buffer and
+	// ships one frameUpdates2 frame every BatchEvents events. 0 selects the
+	// version-1 behavior — one frameUpdates frame per triggering event.
+	BatchEvents uint32
 }
 
 // Stats is the coordinator's closing summary sent to each site and returned
@@ -96,14 +169,33 @@ type Stats struct {
 }
 
 // conn wraps a net.Conn (or any ReadWriter) with buffered, length-prefixed
-// frame IO. Frames: type byte, u32 payload length, payload.
+// frame IO. Frames: type byte, u32 payload length, payload. The read side
+// enforces a payload limit that starts at the control-frame bound and is
+// widened by the owner once the expected frame sizes are known (the
+// coordinator raises it to the layout-derived update cap after the
+// handshake), so a corrupt or hostile length header is rejected before any
+// payload is allocated.
 type conn struct {
 	r *bufio.Reader
 	w *bufio.Writer
+	// maxPayload bounds accepted frame payloads on the read side.
+	maxPayload uint32
 }
 
 func newConn(rw io.ReadWriter) *conn {
-	return &conn{r: bufio.NewReaderSize(rw, 1<<16), w: bufio.NewWriterSize(rw, 1<<16)}
+	return &conn{
+		r:          bufio.NewReaderSize(rw, 1<<16),
+		w:          bufio.NewWriterSize(rw, 1<<16),
+		maxPayload: maxControlFrame,
+	}
+}
+
+// setReadLimit installs the read-side payload bound (clamped to maxFrame).
+func (c *conn) setReadLimit(n uint32) {
+	if n > maxFrame {
+		n = maxFrame
+	}
+	c.maxPayload = n
 }
 
 func (c *conn) writeFrame(t byte, payload []byte) error {
@@ -130,8 +222,8 @@ func (c *conn) readFrame() (byte, []byte, error) {
 		return 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[1:])
-	if n > maxFrame {
-		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit", n)
+	if n > c.maxPayload {
+		return 0, nil, fmt.Errorf("cluster: frame of %d bytes exceeds limit %d", n, c.maxPayload)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.r, payload); err != nil {
@@ -140,7 +232,11 @@ func (c *conn) readFrame() (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
-// encodeStart serializes a StartConfig.
+// encodeStart serializes a StartConfig. The trailing BatchEvents field is
+// the version-2 extension: it is emitted only when batching is on, so a
+// coordinator not using batching sends the version-1 length and old site
+// binaries — whose decoders require that length exactly — still
+// interoperate. (A batching coordinator genuinely needs version-2 sites.)
 func encodeStart(cfg StartConfig) []byte {
 	name := []byte(cfg.NetName)
 	buf := make([]byte, 0, 64+len(name))
@@ -164,10 +260,15 @@ func encodeStart(cfg StartConfig) []byte {
 	put64(cfg.Events)
 	put64(cfg.StreamSeed)
 	put32(cfg.LatencyMicros)
+	if cfg.BatchEvents != 0 {
+		put32(cfg.BatchEvents)
+	}
 	return buf
 }
 
-// decodeStart parses a StartConfig payload.
+// decodeStart parses a StartConfig payload. Version-1 frames (without the
+// trailing BatchEvents field) are still accepted and decode with
+// BatchEvents = 0, so an old coordinator can drive a new site.
 func decodeStart(b []byte) (StartConfig, error) {
 	var cfg StartConfig
 	if len(b) < 4 {
@@ -175,15 +276,17 @@ func decodeStart(b []byte) (StartConfig, error) {
 	}
 	n := binary.LittleEndian.Uint32(b)
 	b = b[4:]
-	if uint32(len(b)) < n {
+	if uint64(len(b)) < uint64(n) {
 		return cfg, fmt.Errorf("cluster: start frame name truncated")
 	}
 	cfg.NetName = string(b[:n])
 	b = b[n:]
-	const rest = 8 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 4
-	if len(b) != rest {
-		return cfg, fmt.Errorf("cluster: start frame length %d, want %d", len(b), rest)
+	const restV1 = 8 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 4
+	const restV2 = restV1 + 4
+	if len(b) != restV1 && len(b) != restV2 {
+		return cfg, fmt.Errorf("cluster: start frame length %d, want %d or %d", len(b), restV1, restV2)
 	}
+	v2 := len(b) == restV2
 	cfg.CPTSeed = binary.LittleEndian.Uint64(b)
 	b = b[8:]
 	cfg.Strategy = b[0]
@@ -201,6 +304,10 @@ func decodeStart(b []byte) (StartConfig, error) {
 	cfg.StreamSeed = binary.LittleEndian.Uint64(b)
 	b = b[8:]
 	cfg.LatencyMicros = binary.LittleEndian.Uint32(b)
+	if v2 {
+		b = b[4:]
+		cfg.BatchEvents = binary.LittleEndian.Uint32(b)
+	}
 	return cfg, nil
 }
 
@@ -228,6 +335,85 @@ func decodeUpdates(dst []Update, b []byte) ([]Update, error) {
 			LocalCount: int64(binary.LittleEndian.Uint64(b[4:12])),
 		})
 		b = b[12:]
+	}
+	return dst, nil
+}
+
+// encodeUpdates2 serializes a coalesced batching window into dst (reused).
+// ups must be sorted by strictly ascending counter id and every LocalCount
+// must be non-negative — the site-side delta batch guarantees both. Ids are
+// delta-encoded and everything is uvarint, so a window frame costs a few
+// bytes per touched counter instead of 12.
+func encodeUpdates2(dst []byte, ups []Update) []byte {
+	dst = dst[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(ups)))]...)
+	prev := uint32(0)
+	for _, u := range ups {
+		delta := u.Counter - prev // for the first entry prev is 0: delta is the id itself
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(delta))]...)
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(u.LocalCount))]...)
+		prev = u.Counter
+	}
+	return dst
+}
+
+// decodeUpdates2 parses a frameUpdates2 payload into dst (reused),
+// validating before any allocation that the declared entry count fits both
+// the layout (maxCounters — a coalesced window cannot hold more entries than
+// there are counters) and the payload length (every entry is at least two
+// bytes). Ids must be strictly ascending and within the layout; counts must
+// be non-negative.
+func decodeUpdates2(dst []Update, b []byte, maxCounters uint32) ([]Update, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, fmt.Errorf("cluster: updates2 frame missing entry count")
+	}
+	b = b[used:]
+	if n > uint64(maxCounters) {
+		return nil, fmt.Errorf("cluster: updates2 frame declares %d entries, layout has %d counters", n, maxCounters)
+	}
+	if n*2 > uint64(len(b)) { // every entry is ≥ 2 varint bytes; pre-allocation sanity bound
+		return nil, fmt.Errorf("cluster: updates2 frame declares %d entries in %d bytes", n, len(b))
+	}
+	if cap(dst) < int(n) {
+		dst = make([]Update, 0, n)
+	} else {
+		dst = dst[:0]
+	}
+	id := uint64(0)
+	for i := uint64(0); i < n; i++ {
+		delta, used := binary.Uvarint(b)
+		if used <= 0 {
+			return nil, fmt.Errorf("cluster: updates2 frame truncated at entry %d", i)
+		}
+		b = b[used:]
+		cnt, used := binary.Uvarint(b)
+		if used <= 0 {
+			return nil, fmt.Errorf("cluster: updates2 frame truncated at entry %d count", i)
+		}
+		b = b[used:]
+		if i > 0 && delta == 0 {
+			return nil, fmt.Errorf("cluster: updates2 frame ids not strictly ascending at entry %d", i)
+		}
+		// Bound the delta before adding: id < maxCounters and delta ≤
+		// maxCounters cannot wrap uint64, so the range check below is
+		// sound. An unbounded delta could wrap the accumulator back into
+		// range and smuggle a non-ascending id past both checks.
+		if delta > uint64(maxCounters) {
+			return nil, fmt.Errorf("cluster: updates2 frame id delta %d out of range at entry %d", delta, i)
+		}
+		id += delta
+		if id >= uint64(maxCounters) {
+			return nil, fmt.Errorf("cluster: updates2 frame counter %d out of range [0,%d)", id, maxCounters)
+		}
+		if cnt > math.MaxInt64 {
+			return nil, fmt.Errorf("cluster: updates2 frame count %d overflows", cnt)
+		}
+		dst = append(dst, Update{Counter: uint32(id), LocalCount: int64(cnt)})
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("cluster: updates2 frame has %d trailing bytes", len(b))
 	}
 	return dst, nil
 }

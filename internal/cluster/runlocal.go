@@ -3,6 +3,11 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/stream"
 )
 
 // RunLocal executes a full cluster run on loopback TCP: it starts a
@@ -11,9 +16,17 @@ import (
 // coordinator (still usable for queries). Sites generate the same per-site
 // sub-streams as the in-process parallel engine (stream.NewSiteTrainings
 // with seed StreamSeed+id), so a cluster run and a sharded in-process run
-// over the same StreamSeed ingest identical events. This is the harness
-// behind the Figure 7/8 experiments and the cluster example; cmd/bncluster
-// runs the same roles as separate processes.
+// over the same StreamSeed ingest identical events.
+//
+// With Config.LiveQueryMicros set, RunLocal also drives a mid-run query mix:
+// a dedicated goroutine issues QueryProb on random assignments (every eighth
+// probe an EstimatedModel) against the coordinator for as long as the sites
+// stream — exercising the live snapshot-query path, the paper's
+// query-at-any-time model. The number of queries issued is returned in
+// Result.LiveQueries.
+//
+// This is the harness behind the Figure 7/8 experiments and the cluster
+// example; cmd/bncluster runs the same roles as separate processes.
 func RunLocal(cfg Config) (Result, *Coordinator, error) {
 	co, err := NewCoordinator(cfg, "127.0.0.1:0")
 	if err != nil {
@@ -36,7 +49,24 @@ func RunLocal(cfg Config) (Result, *Coordinator, error) {
 		}(i)
 	}
 
+	// The mid-run query mix: hammer the live query paths until Serve is
+	// done. Queries race ingestion by design — that is the scenario the
+	// striped snapshot machinery exists for.
+	var queries atomic.Int64
+	var qwg sync.WaitGroup
+	stop := make(chan struct{})
+	if cfg.LiveQueryMicros > 0 {
+		interval := time.Duration(cfg.LiveQueryMicros) * time.Microsecond
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			queries.Store(LiveQueryMix(co, cfg.StreamSeed^0x11fe, interval, stop))
+		}()
+	}
+
 	res, serveErr := co.Serve()
+	close(stop)
+	qwg.Wait()
 	wg.Wait()
 	if serveErr != nil {
 		return Result{}, nil, serveErr
@@ -49,5 +79,35 @@ func RunLocal(cfg Config) (Result, *Coordinator, error) {
 			return Result{}, nil, fmt.Errorf("cluster: site %d saw stats %+v, coordinator %+v", i, o.stats, res.Stats)
 		}
 	}
+	res.LiveQueries = queries.Load()
 	return res, co, nil
+}
+
+// LiveQueryMix drives the standard mid-run query workload against a live
+// coordinator until stop closes, returning the number of queries issued: a
+// QueryProb on a fresh random assignment every interval, with every eighth
+// probe an EstimatedModel materialization. The answers come from the
+// version-validated snapshot path and deliberately race ingestion — the
+// paper's query-at-any-time model. RunLocal runs this when
+// Config.LiveQueryMicros is set; cmd/bncluster's coordinator role uses it
+// to serve queries while remote sites stream.
+func LiveQueryMix(co *Coordinator, seed uint64, interval time.Duration, stop <-chan struct{}) int64 {
+	rng := bn.NewRNG(seed)
+	var x []int
+	var n int64
+	for i := 0; ; i++ {
+		select {
+		case <-stop:
+			return n
+		default:
+		}
+		x = stream.RandomAssignment(co.Network(), rng, x)
+		if i%8 == 7 {
+			_, _ = co.EstimatedModel()
+		} else {
+			_ = co.QueryProb(x)
+		}
+		n++
+		time.Sleep(interval)
+	}
 }

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"net"
+	"slices"
 	"time"
 
 	"distbayes/internal/bn"
@@ -94,6 +95,10 @@ func (s *Site) process(c *conn, cfg StartConfig) error {
 	// cluster-vs-in-process equivalence.
 	training := stream.NewSiteTraining(model, int(s.id), cfg.StreamSeed)
 
+	if cfg.BatchEvents > 0 {
+		return s.processBatched(c, cfg, netw, layout, counts, rng, training)
+	}
+
 	ups := make([]Update, 0, 2*netw.Len())
 	buf := make([]byte, 0, 24*netw.Len())
 	latency := time.Duration(cfg.LatencyMicros) * time.Microsecond
@@ -133,6 +138,72 @@ func (s *Site) process(c *conn, cfg StartConfig) error {
 				return err
 			}
 		}
+	}
+	if err := c.writeFrame(frameDone, encodeDone(s.id, int64(cfg.Events))); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+// processBatched is the protocol-version-2 stream loop: report decisions are
+// made per increment exactly as in the per-event path (same counters, same
+// RNG draw order), but instead of shipping a frame per triggering event the
+// decided reports coalesce into a sparse delta batch — a map from counter id
+// to its latest decided local count; counts are monotone, so the latest
+// subsumes the window's earlier decisions — that is flushed as one
+// varint-compressed frameUpdates2 frame every cfg.BatchEvents events. A
+// report is therefore delayed by at most one window, a staleness of the same
+// kind as the trailing gap the report probability already models.
+func (s *Site) processBatched(c *conn, cfg StartConfig, netw *bn.Network, layout *Layout, counts *siteCounters, rng *bn.RNG, training *stream.Training) error {
+	window := uint64(cfg.BatchEvents)
+	latency := time.Duration(cfg.LatencyMicros) * time.Microsecond
+	batch := make(map[uint32]int64, 2*netw.Len())
+	ups := make([]Update, 0, 2*netw.Len())
+	buf := make([]byte, 0, 24*netw.Len())
+
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		ups = ups[:0]
+		for id, n := range batch {
+			ups = append(ups, Update{Counter: id, LocalCount: n})
+		}
+		clear(batch)
+		slices.SortFunc(ups, func(a, b Update) int { return int(a.Counter) - int(b.Counter) })
+		buf = encodeUpdates2(buf, ups)
+		if err := c.writeFrame(frameUpdates2, buf); err != nil {
+			return err
+		}
+		// A window frame is rare by construction: push it out immediately so
+		// the coordinator's live view stays at most one window stale.
+		if err := c.flush(); err != nil {
+			return err
+		}
+		if latency > 0 {
+			time.Sleep(latency)
+		}
+		return nil
+	}
+
+	for e := uint64(0); e < cfg.Events; e++ {
+		_, x := training.Next()
+		for i := 0; i < netw.Len(); i++ {
+			pidx := netw.ParentIndex(i, x)
+			for _, id := range [2]uint32{layout.PairID(i, x[i], pidx), layout.ParID(i, pidx)} {
+				if n, report := counts.inc(id, rng); report {
+					batch[id] = n
+				}
+			}
+		}
+		if (e+1)%window == 0 {
+			if err := flush(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return err
 	}
 	if err := c.writeFrame(frameDone, encodeDone(s.id, int64(cfg.Events))); err != nil {
 		return err

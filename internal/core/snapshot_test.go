@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"time"
 
 	"distbayes/internal/bn"
 	"distbayes/internal/counter"
@@ -277,6 +278,171 @@ func TestFactorySnapshotNeverCached(t *testing.T) {
 	if p1 == p2 {
 		t.Error("factory tracker served stale estimates after out-of-band mutation")
 	}
+}
+
+// poolTestNet builds a 40-variable chain network — wide enough that the
+// row-pool assertions below have signal (a rebuild without pooling would
+// allocate one row per variable).
+func poolTestNet(t *testing.T) *bn.Network {
+	t.Helper()
+	vars := make([]bn.Variable, 40)
+	for i := range vars {
+		vars[i] = bn.Variable{Name: string(rune('A'+i%26)) + string(rune('0'+i/26)), Card: 2 + i%3}
+		if i > 0 {
+			vars[i].Parents = []int{i - 1}
+		}
+	}
+	net, err := bn.NewNetwork(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestSnapshotRowPooling is the snapshot-pooling allocation contract:
+// warm queries against a cached snapshot allocate nothing, and once the pool
+// is primed, a steady-state update→query-burst cycle rebuilds its dirty rows
+// from recycled storage instead of allocating one row per variable per
+// rebuild.
+func TestSnapshotRowPooling(t *testing.T) {
+	net := poolTestNet(t)
+	tr, err := NewTracker(net, Config{Strategy: NonUniform, Eps: 0.1, Sites: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := bn.NewRNG(99)
+	sample := func() []int {
+		x := make([]int, net.Len())
+		for i := range x {
+			x[i] = rng.Intn(net.Card(i))
+		}
+		return x
+	}
+	for i := 0; i < 4000; i++ {
+		tr.Update(rng.Intn(4), sample())
+	}
+	q := make([]int, net.Len())
+
+	// Warm path: cached snapshot, zero allocations.
+	_ = tr.QueryProb(q)
+	if a := testing.AllocsPerRun(200, func() { _ = tr.QueryProb(q) }); a != 0 {
+		t.Errorf("warm QueryProb allocates %v/op, want 0", a)
+	}
+
+	// Steady state: each run dirties every stripe and forces one rebuild.
+	// Without pooling that is ≥ net.Len() row allocations per run; with the
+	// retired predecessor's rows recycled it is a handful of fixed-size
+	// snapshot bookkeeping allocations.
+	x := sample()
+	run := func() {
+		tr.Update(1, x)
+		for i := 0; i <= staleQueryRebuildThreshold+1; i++ {
+			_ = tr.QueryProb(q)
+		}
+	}
+	run() // prime the pool with the first retirement
+	if a := testing.AllocsPerRun(100, run); a >= float64(net.Len()) {
+		t.Errorf("steady-state rebuild allocates %v/op, want < %d (rows not recycled?)", a, net.Len())
+	}
+}
+
+// TestSnapshotRetirementSafety hammers queries from several goroutines while
+// ingestion forces constant rebuilds and retirements: under -race this
+// proves recycled rows are never handed out while a reader still holds the
+// retired snapshot, and the validity checks catch any reuse-corruption
+// (a clobbered row would yield probabilities outside [0, 1]).
+func TestSnapshotRetirementSafety(t *testing.T) {
+	m := testModel(t)
+	tr, err := NewTracker(m.Network(), cfgFor(NonUniform, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := genEventStream(m, 4, 8000, 61)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, ev := range evs {
+			tr.Update(ev.Site, ev.X)
+		}
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			x := make([]int, m.Network().Len())
+			for i := 0; i < 2000; i++ {
+				if p := tr.QueryProb(x); math.IsNaN(p) || p < 0 || p > 1.0000001 {
+					t.Errorf("QueryProb = %v (recycled row read?)", p)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestLoadStateQueryRaceNoDeadlock pins the LoadState lock order: LoadState
+// takes rebuildMu before the stripe locks (the same order snapshot rebuilds
+// use), so queries racing a restore block briefly instead of deadlocking.
+// Before the ordering fix this hung within a few iterations: LoadState held
+// every stripe lock while waiting on rebuildMu, which a stale-snapshot
+// query held while waiting on a stripe lock.
+func TestLoadStateQueryRaceNoDeadlock(t *testing.T) {
+	m := testModel(t)
+	tr, err := NewTracker(m.Network(), cfgFor(NonUniform, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range genEventStream(m, 4, 3000, 77) {
+		tr.Update(ev.Site, ev.X)
+	}
+	var state bytes.Buffer
+	if err := tr.SaveState(&state); err != nil {
+		t.Fatal(err)
+	}
+	raw := state.Bytes()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := make([]int, m.Network().Len())
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = tr.QueryProb(x)
+				_, _ = tr.EstimatedModel()
+			}
+		}()
+	}
+	fin := make(chan error, 1)
+	go func() {
+		for i := 0; i < 50; i++ {
+			if err := tr.LoadState(bytes.NewReader(raw)); err != nil {
+				fin <- err
+				return
+			}
+			// Dirty a stripe so the racing queries keep forcing rebuilds.
+			tr.Update(0, make([]int, m.Network().Len()))
+		}
+		fin <- nil
+	}()
+	select {
+	case err := <-fin:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("LoadState racing queries did not finish: lock-order deadlock?")
+	}
+	close(done)
+	wg.Wait()
 }
 
 // TestIngestCancelFlushesPending: a canceled Ingest pump must flush events

@@ -123,6 +123,11 @@ func (t *Tracker) LoadState(r io.Reader) error {
 	// fold pre-restore increments into the restored state at a later flush.
 	// As with SaveState, callers must quiesce ingestion around the call.
 	t.FlushDeltas()
+	// rebuildMu before the stripe locks — the same order snapshot rebuilds
+	// use — so a query racing LoadState blocks instead of deadlocking; it
+	// also lets invalidateSnapshotLocked run under the stripe locks below.
+	t.rebuildMu.Lock()
+	defer t.rebuildMu.Unlock()
 	t.lockAll()
 	defer t.unlockAll()
 	br := bufio.NewReader(r)
@@ -202,6 +207,6 @@ func (t *Tracker) LoadState(r io.Reader) error {
 	for s := range t.shards {
 		t.shards[s].rng.SetState(rngStates[s])
 	}
-	t.invalidateSnapshot()
+	t.invalidateSnapshotLocked()
 	return nil
 }

@@ -74,6 +74,16 @@ type Config struct {
 	// a buffer that accumulates this many events publishes inline. 0 means
 	// the default (1024). Ignored unless DeltaBuffered.
 	DeltaFlushEvents int
+	// DeltaSparse switches delta buffers to a sparse touched-cell
+	// representation: a buffer costs memory proportional to the cells its
+	// window actually dirtied instead of mirroring every counter bank, and a
+	// flush folds only those cells (in ascending order, bit-identical to the
+	// dense merge for the same flush points). Choose it for large networks
+	// (munin-scale) or small flush cadences, where mirroring the full banks
+	// per goroutine dominates; the dense default accumulates faster on small
+	// networks (array index vs map lookup). Ignored unless delta buffers are
+	// in use (DeltaBuffered or explicit NewDeltaBuffer).
+	DeltaSparse bool
 }
 
 func (c Config) validate() error {
@@ -213,6 +223,15 @@ type Tracker struct {
 	// snap is the last published model snapshot (nil until the first
 	// structured query; never cached for CounterFactory trackers).
 	snap atomic.Pointer[modelSnapshot]
+	// rebuildMu serializes snapshot rebuilds and cache replacement, which is
+	// what makes snapshot-row ownership hand-off (modelSnapshot.inherited)
+	// race-free. The query fast path never takes it.
+	rebuildMu sync.Mutex
+	// rowPools[i] recycles variable i's factor rows from retired snapshots
+	// (*[]float64 of exactly J_i·K_i cells), so steady-state ingest+query
+	// mixes stop allocating one row per dirty variable per rebuild. One pool
+	// per variable keeps every recycled row exactly the right size.
+	rowPools []sync.Pool
 	// staleQueries counts point queries served per-cell since the cached
 	// snapshot went stale; once it passes staleQueryRebuildThreshold the
 	// next point query rebuilds (see pointSnapshot).
@@ -257,6 +276,7 @@ func NewTracker(net *bn.Network, cfg Config) (*Tracker, error) {
 		pair:  make([]*counter.Bank, net.Len()),
 		par:   make([]*counter.Bank, net.Len()),
 
+		rowPools:        make([]sync.Pool, net.Len()),
 		deltaFlushEvery: int64(cfg.DeltaFlushEvents),
 	}
 	if t.deltaFlushEvery == 0 {
@@ -664,6 +684,67 @@ type modelSnapshot struct {
 	// model caches the normalized bn.Model built from factors
 	// (EstimatedModel), populated lazily at most once per snapshot.
 	model atomic.Pointer[bn.Model]
+
+	// refs counts live references: one held by the tracker's cache slot
+	// while this is the published snapshot, plus one per in-flight query.
+	// When it drops to zero the snapshot is retired and its owned rows are
+	// recycled through the tracker's rowPool. Readers take references with
+	// Tracker.acquireSnap (a CAS loop that refuses retired snapshots) and
+	// drop them with Tracker.releaseSnap.
+	refs atomic.Int32
+	// inherited[i] marks rows whose ownership was handed to the successor
+	// snapshot (set under rebuildMu, strictly before the cache reference is
+	// dropped): retirement recycles only the rows this snapshot still owns.
+	inherited []bool
+	// boxes[i] is the pooled *[]float64 backing factors[i], kept so
+	// retirement can Put the same pointer back without re-boxing the slice
+	// header (a Put(&row) would allocate, costing what pooling saves).
+	boxes []*[]float64
+}
+
+// acquireSnap takes a read reference on the cached snapshot, or returns nil
+// when none is published. The CAS loop refuses snapshots that retired
+// between the load and the increment — their rows may already be recycled —
+// and retries against the freshly published successor.
+func (t *Tracker) acquireSnap() *modelSnapshot {
+	for {
+		s := t.snap.Load()
+		if s == nil {
+			return nil
+		}
+		r := s.refs.Load()
+		if r == 0 {
+			continue // retired under us; the cache slot has moved on
+		}
+		if s.refs.CompareAndSwap(r, r+1) {
+			return s
+		}
+	}
+}
+
+// releaseSnap drops a reference taken by acquireSnap (or returned by
+// snapshot/pointSnapshot); the final drop retires the snapshot and recycles
+// the rows it still owns into the row pool.
+func (t *Tracker) releaseSnap(s *modelSnapshot) {
+	if s.refs.Add(-1) != 0 {
+		return
+	}
+	for i, box := range s.boxes {
+		if !s.inherited[i] {
+			t.rowPools[i].Put(box)
+		}
+	}
+}
+
+// getRow returns a pooled factor row for variable i with n cells (contents
+// unspecified — snapshot building overwrites every cell).
+func (t *Tracker) getRow(i, n int) *[]float64 {
+	if p, ok := t.rowPools[i].Get().(*[]float64); ok {
+		*p = (*p)[:n]
+		return p
+	}
+	row := make([]float64, n)
+	return &row
 }
 
 // snapFresh reports whether snap matches every stripe's live version.
@@ -685,7 +766,8 @@ func (t *Tracker) snapFresh(snap *modelSnapshot) bool {
 const staleQueryRebuildThreshold = 3
 
 // pointSnapshot returns the snapshot a point query (QueryProb,
-// QuerySubsetProb, Classify) should read, or nil when the query should fall
+// QuerySubsetProb, Classify) should read — with a reference held, which the
+// caller must drop with releaseSnap — or nil when the query should fall
 // back to per-cell cpdFactor reads: always for CounterFactory trackers
 // (their counters can change out of band, so a cache would go stale
 // silently and a per-query rebuild would read far more cells than the query
@@ -697,8 +779,11 @@ func (t *Tracker) pointSnapshot() *modelSnapshot {
 	if t.cfg.CounterFactory != nil {
 		return nil
 	}
-	if old := t.snap.Load(); old != nil && t.snapFresh(old) {
-		return old
+	if s := t.acquireSnap(); s != nil {
+		if t.snapFresh(s) {
+			return s
+		}
+		t.releaseSnap(s)
 	}
 	if t.staleQueries.Add(1) <= staleQueryRebuildThreshold {
 		return nil
@@ -706,22 +791,46 @@ func (t *Tracker) pointSnapshot() *modelSnapshot {
 	return t.snapshot()
 }
 
-// snapshot returns a current model snapshot, rebuilding only stripes whose
-// version moved since the cached one was built. CounterFactory trackers
-// always rebuild in full and never cache: factory counters may be mutated
-// out of band (decay rotation), which the stripe versions cannot see.
+// snapshot returns a current model snapshot with a reference held (drop it
+// with releaseSnap), rebuilding only stripes whose version moved since the
+// cached one was built. Rebuilds are serialized under rebuildMu — which also
+// makes the row ownership hand-off to the successor snapshot safe — while
+// the fresh-cache fast path stays lock-free. CounterFactory trackers always
+// rebuild in full and never cache: factory counters may be mutated out of
+// band (decay rotation), which the stripe versions cannot see.
 func (t *Tracker) snapshot() *modelSnapshot {
 	t.FlushDeltas()
-	cacheable := t.cfg.CounterFactory == nil
-	var old *modelSnapshot
-	if cacheable {
-		if old = t.snap.Load(); old != nil && t.snapFresh(old) {
-			return old
-		}
+	if t.cfg.CounterFactory != nil {
+		return t.buildSnapshot(nil, false)
 	}
+	if s := t.acquireSnap(); s != nil {
+		if t.snapFresh(s) {
+			return s
+		}
+		t.releaseSnap(s)
+	}
+	t.rebuildMu.Lock()
+	defer t.rebuildMu.Unlock()
+	// Re-check under the rebuild lock: a concurrent query may have already
+	// rebuilt. The cache slot's reference cannot be dropped while we hold
+	// rebuildMu, so a plain increment is safe here.
+	if old := t.snap.Load(); old != nil && t.snapFresh(old) {
+		old.refs.Add(1)
+		return old
+	}
+	return t.buildSnapshot(t.snap.Load(), true)
+}
+
+// buildSnapshot reads every stripe (reusing old's rows for unchanged
+// stripes) and returns the new snapshot with the caller's reference held.
+// When cacheable it also publishes the snapshot and retires old's cache
+// reference; callers then hold rebuildMu.
+func (t *Tracker) buildSnapshot(old *modelSnapshot, cacheable bool) *modelSnapshot {
 	ns := &modelSnapshot{
-		versions: make([]uint64, len(t.shards)),
-		factors:  make([][]float64, t.net.Len()),
+		versions:  make([]uint64, len(t.shards)),
+		factors:   make([][]float64, t.net.Len()),
+		inherited: make([]bool, t.net.Len()),
+		boxes:     make([]*[]float64, t.net.Len()),
 	}
 	var par []float64 // parent-row scratch shared across variables
 	for s := range t.shards {
@@ -729,10 +838,14 @@ func (t *Tracker) snapshot() *modelSnapshot {
 		if old != nil {
 			if v := sh.version.Load(); v == old.versions[s] {
 				// Stripe unchanged since the cached snapshot: inherit its
-				// immutable rows. (A concurrent mutation after the load is
-				// caught by the next query's revalidation.)
+				// immutable rows, transferring ownership so old's retirement
+				// does not recycle them under us. (A concurrent mutation
+				// after the load is caught by the next query's
+				// revalidation.)
 				for _, i := range sh.vars {
 					ns.factors[i] = old.factors[i]
+					ns.boxes[i] = old.boxes[i]
+					old.inherited[i] = true
 				}
 				ns.versions[s] = v
 				continue
@@ -741,7 +854,8 @@ func (t *Tracker) snapshot() *modelSnapshot {
 		sh.mu.Lock()
 		for _, i := range sh.vars {
 			j, k := t.net.Card(i), t.net.ParentCard(i)
-			row := make([]float64, j*k)
+			box := t.getRow(i, j*k)
+			row := *box
 			par = growFloats(par, k)
 			t.readRowsLocked(i, row, par)
 			for pidx := 0; pidx < k; pidx++ {
@@ -752,24 +866,36 @@ func (t *Tracker) snapshot() *modelSnapshot {
 				}
 			}
 			ns.factors[i] = row
+			ns.boxes[i] = box
 		}
 		ns.versions[s] = sh.version.Load() // under mu: stable
 		sh.mu.Unlock()
 	}
 	if cacheable {
+		ns.refs.Store(2) // the cache slot plus the returning caller
 		t.snap.Store(ns)
+		if old != nil {
+			t.releaseSnap(old) // drop the cache slot's reference
+		}
 		t.staleQueries.Store(0)
+	} else {
+		ns.refs.Store(1)
 	}
 	return ns
 }
 
-// invalidateSnapshot drops the cached snapshot and bumps every stripe
-// version so in-flight revalidations miss (used by LoadState).
-func (t *Tracker) invalidateSnapshot() {
+// invalidateSnapshotLocked drops the cached snapshot and bumps every stripe
+// version so in-flight revalidations miss (used by LoadState). Callers hold
+// rebuildMu — and must acquire it BEFORE any stripe lock: snapshot rebuilds
+// take rebuildMu first and then the stripe locks, so the reverse order
+// deadlocks against a concurrent query.
+func (t *Tracker) invalidateSnapshotLocked() {
 	for s := range t.shards {
 		t.shards[s].version.Add(1)
 	}
-	t.snap.Store(nil)
+	if old := t.snap.Swap(nil); old != nil {
+		t.releaseSnap(old)
+	}
 }
 
 // QueryProb answers a joint-probability query for the full assignment x
@@ -779,6 +905,9 @@ func (t *Tracker) invalidateSnapshot() {
 // type comment and pointSnapshot); both paths are bit-identical.
 func (t *Tracker) QueryProb(x []int) float64 {
 	snap := t.pointSnapshot()
+	if snap != nil {
+		defer t.releaseSnap(snap)
+	}
 	p := 1.0
 	for i := 0; i < t.net.Len(); i++ {
 		if snap != nil {
@@ -795,6 +924,9 @@ func (t *Tracker) QueryProb(x []int) float64 {
 // factorizes exactly over the member CPDs.
 func (t *Tracker) QuerySubsetProb(set []int, x []int) float64 {
 	snap := t.pointSnapshot()
+	if snap != nil {
+		defer t.releaseSnap(snap)
+	}
 	p := 1.0
 	for _, i := range set {
 		if snap != nil {
@@ -821,6 +953,9 @@ func (t *Tracker) QueryCPD(i, v, pidx int) float64 {
 // pass their own x slice.
 func (t *Tracker) Classify(target int, x []int) int {
 	snap := t.pointSnapshot()
+	if snap != nil {
+		defer t.releaseSnap(snap)
+	}
 	saved := x[target]
 	defer func() { x[target] = saved }()
 
@@ -860,39 +995,13 @@ func logOrNegInf(p float64) float64 {
 // advances; treat it as read-only.
 func (t *Tracker) EstimatedModel() (*bn.Model, error) {
 	snap := t.snapshot()
+	defer t.releaseSnap(snap)
 	if m := snap.model.Load(); m != nil {
 		return m, nil
 	}
-	cpds := make([]*bn.CPT, t.net.Len())
-	for i := 0; i < t.net.Len(); i++ {
-		j, k := t.net.Card(i), t.net.ParentCard(i)
-		tbl := make([]float64, j*k)
+	m, err := bn.NewNormalizedModel(t.net, func(i int, tbl []float64) {
 		copy(tbl, snap.factors[i])
-		for pidx := 0; pidx < k; pidx++ {
-			sum := 0.0
-			for v := 0; v < j; v++ {
-				if tbl[pidx*j+v] < 0 {
-					tbl[pidx*j+v] = 0
-				}
-				sum += tbl[pidx*j+v]
-			}
-			if sum <= 0 {
-				for v := 0; v < j; v++ {
-					tbl[pidx*j+v] = 1 / float64(j)
-				}
-			} else {
-				for v := 0; v < j; v++ {
-					tbl[pidx*j+v] /= sum
-				}
-			}
-		}
-		var err error
-		cpds[i], err = bn.NewCPT(j, k, tbl)
-		if err != nil {
-			return nil, fmt.Errorf("core: snapshot CPD %d: %w", i, err)
-		}
-	}
-	m, err := bn.NewModel(t.net, cpds)
+	})
 	if err != nil {
 		return nil, err
 	}

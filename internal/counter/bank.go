@@ -386,6 +386,50 @@ func (b *Bank) mergeDet(cell, site int, c int64) {
 	}
 }
 
+// MergeCell folds one cell's per-site increment deltas into the bank — the
+// single-cell sibling of Merge, used by the sparse delta-buffer flush path
+// (core.Config.DeltaSparse), which touches only the cells a buffer actually
+// dirtied instead of scanning the whole bank. row is indexed by site and must
+// have length k (for custom banks, whose site count is not recorded, any
+// length is accepted and replayed per increment). Merging a cell through
+// MergeCell is bit-identical to merging it through Merge with every other
+// cell's row zero: the same bulk fast paths run, the same RNG draws happen in
+// the same order, and the same messages are tallied.
+func (b *Bank) MergeCell(cell int, row []int64) {
+	if b.kind != customKind && len(row) != b.k {
+		panic(fmt.Sprintf("counter: merge row length %d, want %d sites", len(row), b.k))
+	}
+	switch b.kind {
+	case ExactKind:
+		var sum int64
+		for _, c := range row {
+			sum += c
+		}
+		b.total[cell] += sum
+		if sum != 0 {
+			b.metrics.AddSiteToCoord(sum)
+		}
+	case HYZKind:
+		for site, c := range row {
+			if c > 0 {
+				b.mergeHYZ(cell, site, c)
+			}
+		}
+	case DeterministicKind:
+		for site, c := range row {
+			if c > 0 {
+				b.mergeDet(cell, site, c)
+			}
+		}
+	default:
+		for site, c := range row {
+			for ; c > 0; c-- {
+				b.custom[cell].Inc(site)
+			}
+		}
+	}
+}
+
 // Cell returns a Counter view of one cell: the thin per-cell adapter that
 // keeps the historical interface working over the flat layout. For custom
 // banks it returns the underlying counter itself.

@@ -316,6 +316,33 @@ func TestClusterFigures(t *testing.T) {
 	}
 }
 
+func TestBatchingAblation(t *testing.T) {
+	p := tinyParams()
+	p.Events = 1200
+	p.Sites = 3
+	tabs, err := Run("batching", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != len(batchWindows) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(batchWindows))
+	}
+	// Window 0 is the per-event baseline; every batched row must ship fewer
+	// frames at identical update accounting semantics (updates can only
+	// shrink under coalescing).
+	baseFrames := mustF(t, rows[0][4])
+	baseUpdates := mustF(t, rows[0][6])
+	for _, row := range rows[1:] {
+		if f := mustF(t, row[4]); f >= baseFrames {
+			t.Errorf("window %s frames = %v, want < per-event %v", row[3], f, baseFrames)
+		}
+		if u := mustF(t, row[6]); u > baseUpdates {
+			t.Errorf("window %s updates = %v > per-event %v", row[3], u, baseUpdates)
+		}
+	}
+}
+
 func TestFig4Fig5Smoke(t *testing.T) {
 	p := tinyParams()
 	p.Queries = 30

@@ -98,6 +98,21 @@ func GenQueries(m *bn.Model, opt QueryOptions) ([]Query, error) {
 	return queries, nil
 }
 
+// RandomAssignment fills x (grown if needed) with an independent uniform
+// value per variable — the cheap probe workload of the live-query drivers,
+// which need arbitrary full assignments without paying for model sampling
+// on the query path.
+func RandomAssignment(net *bn.Network, rng *bn.RNG, x []int) []int {
+	if cap(x) < net.Len() {
+		x = make([]int, net.Len())
+	}
+	x = x[:net.Len()]
+	for i := range x {
+		x[i] = rng.Intn(net.Card(i))
+	}
+	return x
+}
+
 // ClassTest is one classification test case: predict X[Target] from the
 // remaining values of X; Want is the sampled (true) value.
 type ClassTest struct {

@@ -2,8 +2,10 @@
 # bench_regression.sh — run the ingestion + query benchmarks and gate on
 # throughput regressions against the committed BENCH_BASELINE.txt.
 #
-# The gate is intentionally narrow: it fails only when a
-# BenchmarkParallelIngest sub-benchmark loses more than BENCH_REGRESSION_PCT
+# The gate is intentionally narrow: it fails only when a throughput
+# benchmark (BenchmarkParallelIngest, BenchmarkDeltaIngest,
+# BenchmarkClusterThroughput — anything reporting events/sec) loses more
+# than BENCH_REGRESSION_PCT
 # (default 30) percent of its baseline events/sec, and only when the runner
 # reports the same `cpu:` line as the machine that recorded the baseline —
 # absolute throughput is not comparable across hardware, so on a different
@@ -26,7 +28,7 @@ cd "$(dirname "$0")/.."
 BASELINE=${BENCH_BASELINE:-BENCH_BASELINE.txt}
 THRESHOLD=${BENCH_REGRESSION_PCT:-30}
 BENCH_TIME=${BENCH_TIME:-1s}
-PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker'
+PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput'
 
 run_benchmarks() {
   go test -count=1 -run '^$' -bench "$PATTERN" -benchtime "$BENCH_TIME" .
