@@ -16,6 +16,14 @@
 // one frame per triggering event), and -live drives a mid-run query mix
 // against the coordinator while the sites stream — the paper's
 // query-at-any-time model, answered from the live snapshot path.
+//
+// The cluster is fault tolerant: a site whose connection drops reconnects
+// with the protocol-v3 resume handshake and replays its decided counts, and
+// a killed site process can simply be restarted with the same id.
+// -checkpoint makes the coordinator write its run state atomically every
+// -checkpoint-every received frames; after a coordinator crash, restart it
+// with the same flags plus -resume to restore the last checkpoint and let
+// the sites re-resume against it.
 package main
 
 import (
@@ -45,6 +53,9 @@ func main() {
 		batch    = flag.Int("batch", 0, "site batching window in events (0 = one frame per triggering event)")
 		live     = flag.Uint("live", 0, "mid-run query interval in microseconds (0 = no live query mix)")
 		hot      = flag.Float64("hot", 0, "fraction of the stream routed to site 0 (skewed-routing regime)")
+		ckpt     = flag.String("checkpoint", "", "coordinator checkpoint file (role=coord; enables periodic checkpointing)")
+		ckptN    = flag.Int64("checkpoint-every", 10000, "checkpoint cadence in received frames (with -checkpoint)")
+		resume   = flag.Bool("resume", false, "restore the coordinator from -checkpoint before serving (role=coord)")
 	)
 	flag.Parse()
 
@@ -68,6 +79,11 @@ func main() {
 		HotSiteShare:    *hot,
 	}
 
+	if *ckpt != "" {
+		cfg.CheckpointPath = *ckpt
+		cfg.CheckpointEveryFrames = *ckptN
+	}
+
 	switch *role {
 	case "coord":
 		co, err := cluster.NewCoordinator(cfg, *addr)
@@ -75,6 +91,15 @@ func main() {
 			fatal(err)
 		}
 		defer co.Close()
+		if *resume {
+			if *ckpt == "" {
+				fatal(fmt.Errorf("-resume requires -checkpoint"))
+			}
+			if err := co.RestoreCheckpointFile(*ckpt); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("restored checkpoint %s\n", *ckpt)
+		}
 		fmt.Printf("coordinator listening on %s, waiting for %d sites\n", co.Addr(), cfg.Sites)
 		// The query mix runs against the coordinator while Serve ingests:
 		// the standalone-role mirror of RunLocal's LiveQueryMicros driver.

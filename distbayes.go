@@ -96,8 +96,15 @@
 // version-validated snapshots — the paper's query-at-any-time model. Sites
 // can coalesce report decisions into delta batches
 // (cluster.Config.SiteBatchEvents, wire-protocol version 2), shipping a
-// small fraction of the frames with bit-identical final estimates. See the
-// cluster package documentation and cmd/bncluster.
+// small fraction of the frames with bit-identical final estimates. The
+// cluster is fault tolerant: sites reconnect with a resume handshake and
+// replay their decided counts (idempotent under the coordinator's
+// max-merge), the coordinator checkpoints its run state on a frame cadence
+// and restores after a crash (cmd/bncluster -checkpoint/-resume), and a
+// deterministic chaos harness (internal/cluster/chaos) pins estimates
+// bit-identical to the uninterrupted run under severed connections,
+// duplicated frames and process kills. See the cluster package
+// documentation and cmd/bncluster.
 package distbayes
 
 import (

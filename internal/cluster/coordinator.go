@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"net"
@@ -63,7 +64,34 @@ type Config struct {
 	// EstimatedModel), for as long as the sites stream. The answers come
 	// from the live snapshot path — the paper's query-at-any-time model.
 	LiveQueryMicros uint32
+	// ReconnectGrace bounds how long a mid-run site may stay disconnected
+	// before the coordinator fails the run: a dropped connection starts a
+	// grace timer, a reconnect (protocol-v3 resume or a fresh hello from a
+	// restarted site process) cancels it. 0 selects the default
+	// (DefaultReconnectGrace). Connection loss within the grace window is
+	// invisible to the run result — the site replays its decided counts on
+	// resume and the max-merge fold makes the replay idempotent.
+	ReconnectGrace time.Duration
+	// CheckpointPath, when set together with CheckpointEveryFrames, makes
+	// the coordinator write a crash-consistent checkpoint of its run state
+	// (reported-count matrix, stats, site membership — the DBCLUS01 format,
+	// see WriteCheckpoint) to this file every CheckpointEveryFrames frames,
+	// atomically via rename. A restarted coordinator restores it with
+	// RestoreCheckpointFile and the sites re-resume against the restored
+	// state.
+	CheckpointPath string
+	// CheckpointEveryFrames is the checkpoint cadence in received frames
+	// (deterministic, unlike wall clock). 0 disables periodic checkpoints.
+	CheckpointEveryFrames int64
 }
+
+// DefaultReconnectGrace is the reconnect window applied when
+// Config.ReconnectGrace is zero.
+const DefaultReconnectGrace = 5 * time.Second
+
+// ErrCoordinatorClosed is returned by Serve when Close is called before the
+// run completes — the abrupt-stop path a chaos test's coordinator kill takes.
+var ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
 
 func (c Config) validate() error {
 	if c.NetName == "" {
@@ -87,7 +115,24 @@ func (c Config) validate() error {
 	if c.HotSiteShare < 0 || c.HotSiteShare >= 1 {
 		return fmt.Errorf("cluster: hot-site share = %v, want [0, 1)", c.HotSiteShare)
 	}
+	if c.ReconnectGrace < 0 {
+		return fmt.Errorf("cluster: reconnect grace = %v, want >= 0", c.ReconnectGrace)
+	}
+	if c.CheckpointEveryFrames < 0 {
+		return fmt.Errorf("cluster: checkpoint cadence = %d, want >= 0", c.CheckpointEveryFrames)
+	}
+	if c.CheckpointEveryFrames > 0 && c.CheckpointPath == "" {
+		return fmt.Errorf("cluster: checkpoint cadence set without a checkpoint path")
+	}
 	return nil
+}
+
+// grace returns the effective reconnect window.
+func (c Config) grace() time.Duration {
+	if c.ReconnectGrace > 0 {
+		return c.ReconnectGrace
+	}
+	return DefaultReconnectGrace
 }
 
 // eventsFor returns the number of stream events site id generates. With
@@ -158,11 +203,42 @@ type estSnapshot struct {
 	model atomic.Pointer[bn.Model]
 }
 
+// siteSlot is the coordinator's supervision record for one site id: the
+// current connection (nil while the site is disconnected), a generation
+// counter so a stale reader or grace timer can tell it has been superseded
+// by a reconnect, and the site's completion state. Guarded by Coordinator.mu
+// except where noted.
+type siteSlot struct {
+	// raw/c is the live connection, nil/nil while disconnected.
+	raw net.Conn
+	c   *conn
+	// gen is bumped on every (re)connect; readers and grace timers capture
+	// it and stand down when the slot has moved on.
+	gen uint64
+	// done records that the site's Done marker was accepted (exactly once —
+	// a replayed Done after a resume is deduplicated here).
+	done bool
+	// events is the site's reported event count, recorded at Done.
+	events int64
+	// wmu serializes writers to the current connection (handshake replies
+	// and the closing stats frame can race a reconnect).
+	wmu sync.Mutex
+}
+
 // Coordinator is the query-answering hub of the monitoring system. Unlike
 // the historical implementation, which materialized estimates once after
 // Serve returned, queries are valid at any time — during a live run they are
 // served from a version-validated snapshot of the striped reported-count
 // matrix, the paper's query-at-any-time model.
+//
+// The connection layer is supervised and elastic: sites may connect at any
+// time after Serve starts (a late join simply starts streaming later), a
+// dropped connection does not fail the run — the site has Config.grace() to
+// reconnect with a protocol-v3 resume (or a fresh hello after a process
+// restart), replaying its decided counts into the idempotent max-merge fold
+// — and a coordinator killed mid-run restarts from its last periodic
+// checkpoint (RestoreCheckpointFile) with the sites re-resuming against the
+// restored state.
 type Coordinator struct {
 	cfg    Config
 	net    *bn.Network
@@ -188,6 +264,40 @@ type Coordinator struct {
 	events  atomic.Int64
 	firstNs atomic.Int64
 	lastNs  atomic.Int64
+
+	// epoch is the run epoch: 0 for a fresh coordinator, bumped by every
+	// checkpoint restore. Sites learn it from the resume ack.
+	epoch uint64
+
+	// mu guards slots and doneCount.
+	mu        sync.Mutex
+	slots     []siteSlot
+	doneCount int
+
+	// finishCh closes exactly once when the run ends; finishErr (written
+	// before the close) is nil on success, ErrCoordinatorClosed on an
+	// abrupt Close, or the first fatal protocol/supervision error.
+	finishOnce sync.Once
+	finishCh   chan struct{}
+	finishErr  error
+
+	serveOnce sync.Once
+	closeOnce sync.Once
+	closed    atomic.Bool
+
+	// CrashAfterFrames, when set before Serve, makes the coordinator Close
+	// itself the moment its frame counter reaches the given value — the
+	// chaos tests' deterministic coordinator kill, the counterpart of
+	// Site.CrashAfterEvents (frame counts do not depend on timing, so the
+	// kill point reproduces exactly). Zero disables the hook.
+	CrashAfterFrames int64
+
+	// ckptEvery/ckptCh drive the periodic checkpoint writer; ckptErr keeps
+	// the last asynchronous write failure (checkpointing is best-effort and
+	// must not fail the run).
+	ckptEvery int64
+	ckptCh    chan struct{}
+	ckptErr   atomic.Pointer[error]
 }
 
 // NewCoordinator validates cfg, regenerates the shared network, and starts
@@ -217,12 +327,16 @@ func NewCoordinator(cfg Config, addr string) (*Coordinator, error) {
 		nStripes = n // more stripes than counters buys nothing
 	}
 	co := &Coordinator{
-		cfg:     cfg,
-		net:     netw,
-		layout:  layout,
-		ln:      ln,
-		sqrtK:   math.Sqrt(float64(cfg.Sites)),
-		stripes: make([]coStripe, nStripes),
+		cfg:       cfg,
+		net:       netw,
+		layout:    layout,
+		ln:        ln,
+		sqrtK:     math.Sqrt(float64(cfg.Sites)),
+		stripes:   make([]coStripe, nStripes),
+		slots:     make([]siteSlot, cfg.Sites),
+		finishCh:  make(chan struct{}),
+		ckptEvery: cfg.CheckpointEveryFrames,
+		ckptCh:    make(chan struct{}, 1),
 	}
 	co.reported = make([][]int64, cfg.Sites)
 	for i := range co.reported {
@@ -234,109 +348,102 @@ func NewCoordinator(cfg Config, addr string) (*Coordinator, error) {
 // Addr returns the listening address.
 func (co *Coordinator) Addr() string { return co.ln.Addr().String() }
 
-// Close releases the listener.
-func (co *Coordinator) Close() error { return co.ln.Close() }
+// Close releases the listener and every site connection. Safe to call at any
+// time, from any goroutine, and more than once: called after Serve returned
+// it is a plain resource release; called while Serve is running it is an
+// abrupt stop — Serve returns ErrCoordinatorClosed without distributing
+// stats, the chaos tests' stand-in for kill -9 (no final checkpoint is
+// written; only the periodic cadence ones survive, as with a real crash).
+func (co *Coordinator) Close() error {
+	co.closeOnce.Do(func() {
+		co.closed.Store(true)
+		co.ln.Close()
+		co.mu.Lock()
+		for i := range co.slots {
+			if co.slots[i].raw != nil {
+				co.slots[i].raw.Close()
+			}
+		}
+		co.mu.Unlock()
+		co.finish(ErrCoordinatorClosed)
+	})
+	return nil
+}
 
-// Serve accepts the configured number of sites, runs the training protocol
-// to completion, distributes closing stats, and returns the run result.
-// Queries may be issued concurrently with Serve at any time.
+// finish ends the run exactly once.
+func (co *Coordinator) finish(err error) {
+	co.finishOnce.Do(func() {
+		co.finishErr = err
+		close(co.finishCh)
+	})
+}
+
+// finished reports whether the run has ended and with which error.
+func (co *Coordinator) finished() (bool, error) {
+	select {
+	case <-co.finishCh:
+		return true, co.finishErr
+	default:
+		return false, nil
+	}
+}
+
+// Serve runs the training protocol to completion: it supervises site
+// connections (accepting joins, resumes and rejoins at any time), folds
+// their reports into the striped matrix, and once every site's Done marker
+// has arrived distributes closing stats and returns the run result. Queries
+// may be issued concurrently with Serve at any time.
+//
+// Serve does not fail on connection loss: a disconnected site has
+// Config.grace() to come back (resume or restart) before the run is failed.
+// Fatal errors remain fatal: a malformed handshake, an out-of-range site id,
+// a listener failure, or Close. Serve may be called once per Coordinator;
+// a coordinator restored from a checkpoint resumes the run where the
+// checkpoint left it (sites already recorded done stay done).
 func (co *Coordinator) Serve() (Result, error) {
-	type siteConn struct {
-		raw net.Conn
+	co.serveOnce.Do(func() {
+		go co.acceptLoop()
+		if co.ckptEvery > 0 {
+			go co.checkpointLoop()
+		}
+	})
+	// A coordinator restored from a post-run checkpoint has nothing left to
+	// serve; complete immediately (stragglers fetch stats via acceptLoop).
+	co.mu.Lock()
+	if co.doneCount == len(co.slots) {
+		co.mu.Unlock()
+		co.finish(nil)
+	} else {
+		co.mu.Unlock()
+	}
+
+	<-co.finishCh
+	if co.finishErr != nil {
+		return Result{}, co.finishErr
+	}
+
+	stats := co.LiveStats()
+	payload := encodeStats(stats)
+	co.mu.Lock()
+	type out struct {
 		c   *conn
-		id  uint32
+		wmu *sync.Mutex
 	}
-	conns := make([]siteConn, 0, co.cfg.Sites)
-	defer func() {
-		for _, sc := range conns {
-			sc.raw.Close()
-		}
-	}()
-
-	for len(conns) < co.cfg.Sites {
-		raw, err := co.ln.Accept()
-		if err != nil {
-			return Result{}, fmt.Errorf("cluster: accept: %w", err)
-		}
-		c := newConn(raw)
-		t, payload, err := c.readFrame()
-		if err != nil {
-			raw.Close()
-			return Result{}, fmt.Errorf("cluster: hello: %w", err)
-		}
-		if t != frameHello {
-			raw.Close()
-			return Result{}, fmt.Errorf("cluster: first frame %d, want hello", t)
-		}
-		id, err := decodeHello(payload)
-		if err != nil {
-			raw.Close()
-			return Result{}, err
-		}
-		if id >= uint32(co.cfg.Sites) {
-			raw.Close()
-			return Result{}, fmt.Errorf("cluster: site id %d out of range", id)
-		}
-		// The handshake is done: widen the read limit from the control-frame
-		// bound to the largest update frame the layout admits.
-		c.setReadLimit(updatesPayloadCap(co.layout.NumCounters()))
-		conns = append(conns, siteConn{raw: raw, c: c, id: id})
-	}
-
-	// Distribute start configs (events split per Config.eventsFor).
-	for _, sc := range conns {
-		start := StartConfig{
-			NetName:       co.cfg.NetName,
-			CPTSeed:       co.cfg.CPTSeed,
-			Strategy:      uint8(co.cfg.Strategy),
-			Eps:           co.cfg.Eps,
-			Delta:         co.cfg.Delta,
-			Sites:         uint32(co.cfg.Sites),
-			Site:          sc.id,
-			Events:        uint64(co.cfg.eventsFor(sc.id)),
-			StreamSeed:    co.cfg.StreamSeed,
-			LatencyMicros: co.cfg.LatencyMicros,
-			BatchEvents:   uint32(co.cfg.SiteBatchEvents),
-		}
-		if err := sc.c.writeFrame(frameStart, encodeStart(start)); err != nil {
-			return Result{}, err
-		}
-		if err := sc.c.flush(); err != nil {
-			return Result{}, err
+	var outs []out
+	for i := range co.slots {
+		if co.slots[i].c != nil {
+			outs = append(outs, out{co.slots[i].c, &co.slots[i].wmu})
 		}
 	}
-
-	// One reader goroutine per connection: frames are batch-decoded and
-	// folded into the striped reported matrix, so k sites ingest in parallel
-	// while queries run against the same stripes.
-	var wg sync.WaitGroup
-	errs := make([]error, len(conns))
-	for i, sc := range conns {
-		wg.Add(1)
-		go func(i int, sc siteConn) {
-			defer wg.Done()
-			errs[i] = co.serveSite(sc.c, sc.id)
-		}(i, sc)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return Result{}, err
+	co.mu.Unlock()
+	for _, o := range outs {
+		// Best effort: a site that lost its connection right at the end
+		// re-resumes and collects stats from the acceptLoop instead.
+		o.wmu.Lock()
+		if err := o.c.writeFrame(frameStats, payload); err == nil {
+			o.c.flush()
 		}
-	}
-
-	stats := Stats{
-		Frames:  co.frames.Load(),
-		Updates: co.updates.Load(),
-		Events:  co.events.Load(),
-	}
-	for _, sc := range conns {
-		if err := sc.c.writeFrame(frameStats, encodeStats(stats)); err != nil {
-			return Result{}, err
-		}
-		if err := sc.c.flush(); err != nil {
-			return Result{}, err
-		}
+		o.wmu.Unlock()
 	}
 
 	runtime := time.Duration(co.lastNs.Load() - co.firstNs.Load())
@@ -350,8 +457,183 @@ func (co *Coordinator) Serve() (Result, error) {
 	return res, nil
 }
 
-// serveSite consumes one site's frames until its Done marker, decoding both
-// the version-1 per-event format and the version-2 coalesced format.
+// acceptLoop admits connections until the listener closes: site joins
+// (hello), process-restart rejoins (hello for an already-seen id) and
+// connection-level resumes (protocol v3). It outlives Serve so a site that
+// missed the closing stats can still reconnect and collect them.
+func (co *Coordinator) acceptLoop() {
+	for {
+		raw, err := co.ln.Accept()
+		if err != nil {
+			if !co.closed.Load() {
+				co.finish(fmt.Errorf("cluster: accept: %w", err))
+			}
+			return
+		}
+		go co.handleConn(raw)
+	}
+}
+
+// handleConn performs the handshake on one accepted connection and, for a
+// live run, hands it to a reader goroutine.
+func (co *Coordinator) handleConn(raw net.Conn) {
+	c := newConn(raw)
+	t, payload, err := c.readFrame()
+	if err != nil {
+		// The dialer vanished (or a fault cut the handshake frame): not a
+		// protocol violation, just a dead connection.
+		raw.Close()
+		return
+	}
+	var id uint32
+	var resume resumeReq
+	switch t {
+	case frameHello:
+		id, err = decodeHello(payload)
+	case frameResume:
+		resume, err = decodeResume(payload)
+		id = resume.Site
+	default:
+		raw.Close()
+		co.finish(fmt.Errorf("cluster: first frame %d, want hello or resume", t))
+		return
+	}
+	if err != nil {
+		raw.Close()
+		co.finish(err)
+		return
+	}
+	if id >= uint32(co.cfg.Sites) {
+		raw.Close()
+		co.finish(fmt.Errorf("cluster: site id %d out of range", id))
+		return
+	}
+	if over, ferr := co.finished(); over {
+		if ferr == nil && t == frameResume {
+			// Run already complete: answer the resume with the closing stats
+			// so a site that crashed at the finish line still gets them.
+			c.writeFrame(frameResumeAck, encodeResumeAck(resumeAck{
+				Epoch:      co.epoch,
+				SiteEvents: uint64(co.siteEvents(id)),
+				Flags:      resumeRunComplete | resumeSiteDone,
+			}))
+			c.writeFrame(frameStats, encodeStats(co.LiveStats()))
+			c.flush()
+		}
+		raw.Close()
+		return
+	}
+
+	// Attach the connection: a lingering previous connection for the id is
+	// superseded (latest wins — its reader stands down via the generation).
+	co.mu.Lock()
+	slot := &co.slots[id]
+	if slot.raw != nil {
+		slot.raw.Close()
+	}
+	slot.raw, slot.c = raw, c
+	slot.gen++
+	gen := slot.gen
+	done, events := slot.done, slot.events
+	co.mu.Unlock()
+
+	// The handshake is done: widen the read limit from the control-frame
+	// bound to the largest update frame the layout admits.
+	c.setReadLimit(updatesPayloadCap(co.layout.NumCounters()))
+
+	var reply error
+	slot.wmu.Lock()
+	switch t {
+	case frameHello:
+		// Fresh join or a restarted site process rejoining from scratch: it
+		// gets the same deterministic StartConfig and replays its stream
+		// from event 0. Its reported row is deliberately kept — counts are
+		// monotone and the replayed reports max-merge idempotently.
+		start := StartConfig{
+			NetName:       co.cfg.NetName,
+			CPTSeed:       co.cfg.CPTSeed,
+			Strategy:      uint8(co.cfg.Strategy),
+			Eps:           co.cfg.Eps,
+			Delta:         co.cfg.Delta,
+			Sites:         uint32(co.cfg.Sites),
+			Site:          id,
+			Events:        uint64(co.cfg.eventsFor(id)),
+			StreamSeed:    co.cfg.StreamSeed,
+			LatencyMicros: co.cfg.LatencyMicros,
+			BatchEvents:   uint32(co.cfg.SiteBatchEvents),
+		}
+		reply = c.writeFrame(frameStart, encodeStart(start))
+	case frameResume:
+		ack := resumeAck{Epoch: co.epoch, SiteEvents: uint64(events)}
+		if done {
+			ack.Flags |= resumeSiteDone
+		}
+		reply = c.writeFrame(frameResumeAck, encodeResumeAck(ack))
+	}
+	if reply == nil {
+		reply = c.flush()
+	}
+	slot.wmu.Unlock()
+	if reply != nil {
+		co.detach(id, gen)
+		return
+	}
+	go func() {
+		err := co.serveSite(c, id)
+		if err == nil {
+			// Done accepted: the connection stays attached, idle, so the
+			// closing stats can reach the site.
+			return
+		}
+		co.detach(id, gen)
+	}()
+}
+
+// detach marks a site disconnected (if gen still identifies the current
+// connection) and arms the reconnect-grace timer.
+func (co *Coordinator) detach(id uint32, gen uint64) {
+	co.mu.Lock()
+	slot := &co.slots[id]
+	if slot.gen != gen {
+		co.mu.Unlock()
+		return // a newer connection has already taken over
+	}
+	if slot.raw != nil {
+		slot.raw.Close()
+	}
+	slot.raw, slot.c = nil, nil
+	done := slot.done
+	co.mu.Unlock()
+	if done {
+		return // nothing more expected from this site
+	}
+	if over, _ := co.finished(); over {
+		return
+	}
+	grace := co.cfg.grace()
+	time.AfterFunc(grace, func() {
+		co.mu.Lock()
+		slot := &co.slots[id]
+		expired := slot.gen == gen && slot.raw == nil && !slot.done
+		co.mu.Unlock()
+		if expired {
+			co.finish(fmt.Errorf("cluster: site %d disconnected and did not reconnect within %v", id, grace))
+		}
+	})
+}
+
+// siteEvents returns the recorded event count for a site (0 until Done).
+func (co *Coordinator) siteEvents(id uint32) int64 {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.slots[id].events
+}
+
+// serveSite consumes one site connection's frames until its Done marker,
+// decoding both the version-1 per-event format and the version-2 coalesced
+// format (a protocol-v3 resume replay arrives as an ordinary frameUpdates2).
+// A nil return means Done; any error means the connection is dead or spoke
+// garbage — the caller detaches it and the site is expected to come back.
 func (co *Coordinator) serveSite(c *conn, site uint32) error {
 	var ups []Update
 	buckets := make([][]Update, len(co.stripes)) // per-stripe scratch, reused across frames
@@ -363,7 +645,18 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 		now := time.Now().UnixNano()
 		co.firstNs.CompareAndSwap(0, now)
 		co.lastNs.Store(now)
-		co.frames.Add(1)
+		n := co.frames.Add(1)
+		if co.CrashAfterFrames > 0 && n == co.CrashAfterFrames {
+			// Synchronous: the kill must win the race against a finishing
+			// run, or a seeded kill point near the end becomes flaky.
+			co.Close()
+		}
+		if co.ckptEvery > 0 && n%co.ckptEvery == 0 {
+			select {
+			case co.ckptCh <- struct{}{}:
+			default: // a checkpoint is already pending; cadence resumes next tick
+			}
+		}
 		switch t {
 		case frameUpdates:
 			ups, err = decodeUpdates(ups, payload)
@@ -388,7 +681,20 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 			if err != nil {
 				return err
 			}
-			co.events.Add(events)
+			co.mu.Lock()
+			slot := &co.slots[site]
+			allDone := false
+			if !slot.done {
+				slot.done = true
+				slot.events = events
+				co.events.Add(events)
+				co.doneCount++
+				allDone = co.doneCount == len(co.slots)
+			}
+			co.mu.Unlock()
+			if allDone {
+				co.finish(nil)
+			}
 			return nil
 		default:
 			return fmt.Errorf("cluster: site %d unexpected frame %d", site, t)
@@ -401,7 +707,8 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 // per-stripe scratch), then each touched stripe is locked once, applied in
 // ascending stripe order, and has its version bumped. Reports are monotone
 // local counts; the maximum is kept to stay robust to reordering within a
-// stream.
+// stream — the same property that makes resume replays and duplicated
+// frames idempotent.
 func (co *Coordinator) applyUpdates(site uint32, ups []Update, buckets [][]Update) error {
 	total := co.layout.NumCounters()
 	for _, u := range ups {

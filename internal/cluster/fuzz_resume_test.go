@@ -1,0 +1,155 @@
+package cluster
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"distbayes/internal/core"
+)
+
+// fuzzMaxSites bounds the checkpoint membership table under fuzzing, small
+// enough that the fuzzer trivially constructs out-of-range site counts.
+const fuzzMaxSites = 8
+
+// FuzzDecodeResumeFrame feeds arbitrary bytes to the protocol-v3 decoders
+// introduced with reconnect-and-resume: the resume request, the resume ack,
+// and the DBCLUS01 checkpoint reader. The first input byte selects the
+// decoder, the rest is the payload. Every decoder must reject garbage with
+// an error — never panic, and never allocate beyond what its validated
+// lengths admit (the checkpoint reader length-checks the site count and
+// every row record before allocating, the same discipline FuzzDecodeFrame
+// pins for the wire frames). Successful resume/ack decodes are re-encoded
+// and compared, pinning the round trip on fuzzer-discovered inputs.
+func FuzzDecodeResumeFrame(f *testing.F) {
+	for _, seed := range fuzzResumeSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		payload := data[1:]
+		switch data[0] % 3 {
+		case 0:
+			req, err := decodeResume(payload)
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(encodeResume(req), payload) {
+				t.Fatalf("resume round trip diverged for %+v", req)
+			}
+		case 1:
+			ack, err := decodeResumeAck(payload)
+			if err != nil {
+				return
+			}
+			if !bytes.Equal(encodeResumeAck(ack), payload) {
+				t.Fatalf("resume ack round trip diverged for %+v", ack)
+			}
+		case 2:
+			st, err := readCheckpoint(bytes.NewReader(payload), fuzzMaxSites, fuzzMaxCounters)
+			if err != nil {
+				return
+			}
+			if len(st.Sites) == 0 || len(st.Sites) > fuzzMaxSites {
+				t.Fatalf("readCheckpoint accepted %d sites", len(st.Sites))
+			}
+			for s := range st.Sites {
+				row := st.Sites[s].Row
+				for i, u := range row {
+					if u.Counter >= fuzzMaxCounters || u.LocalCount < 0 {
+						t.Fatalf("readCheckpoint accepted invalid row entry %d/%d: %+v", s, i, u)
+					}
+					if i > 0 && row[i-1].Counter >= u.Counter {
+						t.Fatalf("readCheckpoint accepted non-ascending ids at %d/%d", s, i)
+					}
+				}
+			}
+		}
+	})
+}
+
+// fuzzResumeSeeds builds one valid payload per v3 decoder (selector byte
+// first) plus truncated and bit-flipped mutants, so fuzzing starts deep
+// inside each format.
+func fuzzResumeSeeds() [][]byte {
+	resume := encodeResume(resumeReq{Site: 3, Events: 123456, Flags: 0})
+	ack := encodeResumeAck(resumeAck{Epoch: 2, SiteEvents: 4000, Flags: resumeRunComplete | resumeSiteDone})
+
+	var ckpt bytes.Buffer
+	cw, err := core.NewCkptWriter(&ckpt, checkpointMagic)
+	if err != nil {
+		panic(err)
+	}
+	row := encodeUpdates2(nil, []Update{
+		{Counter: 0, LocalCount: 1}, {Counter: 7, LocalCount: 300}, {Counter: 900, LocalCount: 1 << 40},
+	})
+	for _, v := range []uint64{0xfeedface, 1, 5003, 296000, 2} {
+		if err := cw.PutU64(v); err != nil {
+			panic(err)
+		}
+	}
+	for _, site := range []struct {
+		done, events uint64
+		row          []byte
+	}{{1, 2000, row}, {0, 0, encodeUpdates2(nil, nil)}} {
+		if err := cw.PutU64(site.done); err != nil {
+			panic(err)
+		}
+		if err := cw.PutU64(site.events); err != nil {
+			panic(err)
+		}
+		if err := cw.PutRecord(site.row); err != nil {
+			panic(err)
+		}
+	}
+	if err := cw.Flush(); err != nil {
+		panic(err)
+	}
+
+	var seeds [][]byte
+	add := func(sel byte, payload []byte) {
+		seeds = append(seeds, append([]byte{sel}, payload...))
+		if len(payload) > 2 {
+			seeds = append(seeds, append([]byte{sel}, payload[:len(payload)/2]...))
+			flipped := append([]byte{sel}, payload...)
+			flipped[1+len(payload)/3] ^= 0x40
+			seeds = append(seeds, flipped)
+		}
+	}
+	add(0, resume)
+	add(1, ack)
+	add(2, ckpt.Bytes())
+	// Adversarial checkpoint headers: magic only, and a declared site count
+	// far past any membership table.
+	seeds = append(seeds, append([]byte{2}, []byte(checkpointMagic)...))
+	huge := append([]byte{2}, ckpt.Bytes()[:8+4*8]...)
+	huge = append(huge, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff)
+	seeds = append(seeds, huge)
+	return seeds
+}
+
+// TestWriteFuzzDecodeResumeFrameCorpus regenerates the committed seed corpus
+// under testdata/fuzz when DISTBAYES_WRITE_FUZZ_CORPUS is set; normally it
+// only verifies the corpus directory exists.
+func TestWriteFuzzDecodeResumeFrameCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeResumeFrame")
+	if os.Getenv("DISTBAYES_WRITE_FUZZ_CORPUS") == "" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("seed corpus missing: %v (regenerate with DISTBAYES_WRITE_FUZZ_CORPUS=1)", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzResumeSeeds() {
+		payload := []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n")
+		if err := os.WriteFile(filepath.Join(dir, "seed"+strconv.Itoa(i)), payload, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -54,6 +54,47 @@
 //     triggered by one event are merged into a single frame, and an event
 //     that triggers no update sends nothing. Version-2 batching extends
 //     the same idea across events within a window.
+//
+// # Fault tolerance: reconnect, resume, checkpoint
+//
+// The cluster survives the loss of any process. Protocol version 3 adds a
+// resume handshake: instead of frameHello, a site that already holds run
+// state opens its connection with frameResume (site id + events processed)
+// and the coordinator acks with its run epoch, the site's recorded event
+// count and completion flags. On resume the site replays its latest decided
+// count for every counter as one frameUpdates2 frame before continuing the
+// stream. The handshake is append-only over versions 1 and 2: old frames
+// still decode, and a version-1 site can still join a batching-off
+// coordinator with plain frameHello.
+//
+// Crash-safety rests on three invariants, asserted bit-exactly by the chaos
+// suite (chaos_test.go) rather than only within the (ε, δ) envelope:
+//
+//  1. Site-local counts are monotone and the coordinator folds reports with
+//     an idempotent max-merge — replayed, duplicated or stale frames can
+//     never move a matrix cell past, or back from, its true value.
+//  2. Site streams are deterministic (seeded generator, seeded report RNG),
+//     and an event is marked consumed before any fallible network write —
+//     so a restarted or resumed site re-derives exactly the counts it lost,
+//     and a connection error can never re-draw a consumed sample.
+//  3. Checkpoints are a consistent lower bound of the run: the DBCLUS01
+//     file (checkpoint.go) is cadenced on received frames (deterministic,
+//     not wall clock), written atomically (temp file + rename), and the
+//     restored matrix is raised to the exact uninterrupted state by resume
+//     replays. A coordinator killed at any frame therefore converges after
+//     restore, and the estimates match the uninterrupted run bit for bit
+//     (TestChaosCoordinatorKillRestartConverges, and
+//     TestCheckpointGoldenBitCompat against the PR 3 HEAD goldens).
+//
+// Under site churn — every site killed twice mid-stream and restarted, the
+// `churn` experiment — the maximum estimate divergence from the
+// uninterrupted run is exactly 0 on every strategy, to set against the
+// skewed-routing imprecision above: process failure costs retransmitted
+// frames, never accuracy. Connection supervision is retry-with-backoff on
+// the site side (Site.MaxResumes bounds consecutive no-progress resumes)
+// and a reconnect grace window on the coordinator side
+// (Config.ReconnectGrace): a run only fails once a site stays gone past the
+// grace or stops making progress entirely.
 package cluster
 
 import (
@@ -91,6 +132,32 @@ const (
 	// local count per counter survives — counts are monotone, so coalescing
 	// loses nothing the trailing-gap adjustment does not already model.
 	frameUpdates2 byte = 6
+	// frameResume re-introduces a site whose connection dropped mid-run
+	// (protocol version 3, site → coordinator): payload = site id (u32),
+	// events processed so far (u64), flags (u8, reserved zero). Unlike
+	// frameHello, a resume keeps the site's in-memory state: after the ack
+	// the site replays its latest decided per-counter local counts in one
+	// frameUpdates2 frame — safe because counts are monotone and the
+	// coordinator's max-merge fold is idempotent — then continues its stream
+	// from where it stopped.
+	frameResume byte = 7
+	// frameResumeAck answers a resume (coordinator → site): payload = run
+	// epoch (u64, bumped every checkpoint restore), the coordinator's
+	// recorded event count for the site (u64, nonzero only once the site's
+	// Done was accepted), and flags (u8: resumeRunComplete, resumeSiteDone).
+	// When resumeRunComplete is set the coordinator follows the ack with the
+	// closing frameStats on the same connection, so a site that crashed
+	// after the run finished still collects its stats.
+	frameResumeAck byte = 8
+)
+
+// frameResumeAck flag bits.
+const (
+	// resumeRunComplete: the whole run already finished; stats follow.
+	resumeRunComplete byte = 1 << 0
+	// resumeSiteDone: the coordinator has already accepted this site's Done
+	// marker (the site need not re-stream, only wait for stats).
+	resumeSiteDone byte = 1 << 1
 )
 
 // maxFrame bounds a frame payload; large networks send at most 2n update
@@ -448,6 +515,68 @@ func decodeStats(b []byte) (Stats, error) {
 		Frames:  int64(binary.LittleEndian.Uint64(b[:8])),
 		Updates: int64(binary.LittleEndian.Uint64(b[8:16])),
 		Events:  int64(binary.LittleEndian.Uint64(b[16:])),
+	}, nil
+}
+
+// resumeReq is a decoded frameResume payload.
+type resumeReq struct {
+	// Site is the resuming site's id.
+	Site uint32
+	// Events is the number of stream events the site has processed so far.
+	Events uint64
+	// Flags is reserved (zero); a future extension can use it without a new
+	// frame type because the decoder ignores unknown bits.
+	Flags byte
+}
+
+func encodeResume(r resumeReq) []byte {
+	var b [13]byte
+	binary.LittleEndian.PutUint32(b[:4], r.Site)
+	binary.LittleEndian.PutUint64(b[4:12], r.Events)
+	b[12] = r.Flags
+	return b[:]
+}
+
+func decodeResume(b []byte) (resumeReq, error) {
+	if len(b) != 13 {
+		return resumeReq{}, fmt.Errorf("cluster: resume frame length %d, want 13", len(b))
+	}
+	return resumeReq{
+		Site:   binary.LittleEndian.Uint32(b[:4]),
+		Events: binary.LittleEndian.Uint64(b[4:12]),
+		Flags:  b[12],
+	}, nil
+}
+
+// resumeAck is a decoded frameResumeAck payload.
+type resumeAck struct {
+	// Epoch is the coordinator's run epoch: 0 for the original process,
+	// bumped by every checkpoint restore, so a resuming site can tell a
+	// surviving coordinator from a restored one.
+	Epoch uint64
+	// SiteEvents is the event count the coordinator has recorded for the
+	// site (nonzero only once its Done marker was accepted).
+	SiteEvents uint64
+	// Flags carries resumeRunComplete and resumeSiteDone.
+	Flags byte
+}
+
+func encodeResumeAck(a resumeAck) []byte {
+	var b [17]byte
+	binary.LittleEndian.PutUint64(b[:8], a.Epoch)
+	binary.LittleEndian.PutUint64(b[8:16], a.SiteEvents)
+	b[16] = a.Flags
+	return b[:]
+}
+
+func decodeResumeAck(b []byte) (resumeAck, error) {
+	if len(b) != 17 {
+		return resumeAck{}, fmt.Errorf("cluster: resume-ack frame length %d, want 17", len(b))
+	}
+	return resumeAck{
+		Epoch:      binary.LittleEndian.Uint64(b[:8]),
+		SiteEvents: binary.LittleEndian.Uint64(b[8:16]),
+		Flags:      b[16],
 	}, nil
 }
 

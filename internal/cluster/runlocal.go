@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,84 @@ func RunLocal(cfg Config) (Result, *Coordinator, error) {
 		}
 	}
 	res.LiveQueries = queries.Load()
+	return res, co, nil
+}
+
+// ChurnConfig parameterizes RunLocalChurn's deterministic site churn.
+type ChurnConfig struct {
+	// Seed derives every site's crash schedule.
+	Seed uint64
+	// CrashesPerSite is how many times each site process is killed and
+	// restarted over its stream (crash points are seeded ascending stream
+	// positions, so the schedule is reproducible and timing-independent).
+	CrashesPerSite int
+}
+
+// RunLocalChurn is RunLocal under site churn: each site goroutine is killed
+// (via the Site.CrashAfterEvents chaos hook — the site stops dead at a
+// deterministic stream position without sending Done) and restarted as a
+// fresh process-equivalent Site at CrashesPerSite seeded points of its
+// stream. A restarted site rejoins with a plain hello and replays its stream
+// from event zero; per-site determinism reproduces the identical report
+// decisions and the coordinator's max-merge fold absorbs the duplicates, so
+// the final estimates are bit-identical to an uninterrupted RunLocal of the
+// same Config (asserted by the chaos suite).
+func RunLocalChurn(cfg Config, churn ChurnConfig) (Result, *Coordinator, error) {
+	co, err := NewCoordinator(cfg, "127.0.0.1:0")
+	if err != nil {
+		return Result{}, nil, err
+	}
+	defer co.Close()
+
+	type siteOut struct {
+		stats Stats
+		err   error
+	}
+	outs := make([]siteOut, cfg.Sites)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sites; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := bn.NewRNG(churn.Seed ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+			ev := uint64(cfg.eventsFor(uint32(i)))
+			// Ascending crash points: each incarnation must outlive the
+			// previous crash position or the schedule would livelock.
+			points := make([]uint64, 0, churn.CrashesPerSite)
+			for ev > 0 && len(points) < churn.CrashesPerSite {
+				p := 1 + uint64(rng.Intn(int(ev)))
+				if len(points) == 0 || p > points[len(points)-1] {
+					points = append(points, p)
+				} else {
+					break // tail of the schedule collapsed; fewer crashes, still valid
+				}
+			}
+			for _, p := range points {
+				s := NewSite(uint32(i), co.Addr())
+				s.CrashAfterEvents = p
+				if _, err := s.Run(); !errors.Is(err, ErrSiteCrashed) {
+					outs[i] = siteOut{err: fmt.Errorf("cluster: churn site %d: crash hook returned %v, want ErrSiteCrashed", i, err)}
+					return
+				}
+			}
+			st, err := NewSite(uint32(i), co.Addr()).Run()
+			outs[i] = siteOut{stats: st, err: err}
+		}(i)
+	}
+
+	res, serveErr := co.Serve()
+	wg.Wait()
+	if serveErr != nil {
+		return Result{}, nil, serveErr
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, nil, fmt.Errorf("cluster: site %d: %w", i, o.err)
+		}
+		if o.stats != res.Stats {
+			return Result{}, nil, fmt.Errorf("cluster: site %d saw stats %+v, coordinator %+v", i, o.stats, res.Stats)
+		}
+	}
 	return res, co, nil
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"bufio"
 	"encoding/binary"
 	"fmt"
 	"hash/fnv"
@@ -62,32 +61,26 @@ func (t *Tracker) SaveState(w io.Writer) error {
 	t.FlushDeltas() // quiescence is required anyway; publish parked deltas
 	t.lockAll()
 	defer t.unlockAll()
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(stateMagic); err != nil {
+	cw, err := NewCkptWriter(w, stateMagic)
+	if err != nil {
 		return err
 	}
-	put := func(v uint64) error {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], v)
-		_, err := bw.Write(b[:])
+	if err := cw.PutU64(t.fingerprint()); err != nil {
 		return err
 	}
-	if err := put(t.fingerprint()); err != nil {
-		return err
-	}
-	if err := put(uint64(t.Events())); err != nil {
+	if err := cw.PutU64(uint64(t.Events())); err != nil {
 		return err
 	}
 	msgs := t.metrics.Snapshot()
-	if err := put(uint64(msgs.SiteToCoord)); err != nil {
+	if err := cw.PutU64(uint64(msgs.SiteToCoord)); err != nil {
 		return err
 	}
-	if err := put(uint64(msgs.CoordToSite)); err != nil {
+	if err := cw.PutU64(uint64(msgs.CoordToSite)); err != nil {
 		return err
 	}
 	for s := range t.shards {
 		for _, v := range t.shards[s].rng.State() {
-			if err := put(v); err != nil {
+			if err := cw.PutU64(v); err != nil {
 				return err
 			}
 		}
@@ -97,11 +90,7 @@ func (t *Tracker) SaveState(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		if err := put(uint64(len(data))); err != nil {
-			return err
-		}
-		_, err = bw.Write(data)
-		return err
+		return cw.PutRecord(data)
 	}
 	for i := range t.pair {
 		if err := writeBank(t.pair[i]); err != nil {
@@ -111,7 +100,7 @@ func (t *Tracker) SaveState(w io.Writer) error {
 			return err
 		}
 	}
-	return bw.Flush()
+	return cw.Flush()
 }
 
 // LoadState restores a snapshot produced by SaveState. The receiver must
@@ -130,66 +119,50 @@ func (t *Tracker) LoadState(r io.Reader) error {
 	defer t.rebuildMu.Unlock()
 	t.lockAll()
 	defer t.unlockAll()
-	br := bufio.NewReader(r)
-	magic := make([]byte, len(stateMagic))
-	if _, err := io.ReadFull(br, magic); err != nil {
-		return fmt.Errorf("core: reading snapshot magic: %w", err)
+	cr, err := NewCkptReader(r, stateMagic)
+	if err != nil {
+		return err
 	}
-	if string(magic) != stateMagic {
-		return fmt.Errorf("core: bad snapshot magic %q", magic)
-	}
-	get := func() (uint64, error) {
-		var b [8]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil {
-			return 0, err
-		}
-		return binary.LittleEndian.Uint64(b[:]), nil
-	}
-	fp, err := get()
+	fp, err := cr.U64()
 	if err != nil {
 		return err
 	}
 	if fp != t.fingerprint() {
 		return fmt.Errorf("core: snapshot fingerprint %x does not match tracker %x (different network or config)", fp, t.fingerprint())
 	}
-	events, err := get()
+	events, err := cr.U64()
 	if err != nil {
 		return err
 	}
-	up, err := get()
+	up, err := cr.U64()
 	if err != nil {
 		return err
 	}
-	down, err := get()
+	down, err := cr.U64()
 	if err != nil {
 		return err
 	}
 	rngStates := make([][4]uint64, len(t.shards))
 	for s := range rngStates {
 		for i := range rngStates[s] {
-			if rngStates[s][i], err = get(); err != nil {
+			if rngStates[s][i], err = cr.U64(); err != nil {
 				return err
 			}
 		}
 	}
 
 	readBank := func(b *counter.Bank) error {
-		n, err := get()
-		if err != nil {
-			return err
-		}
 		// Reject a corrupt record length before allocating for it: built-in
 		// banks have a statically known state size, so anything else is
 		// garbage; custom banks (unknown size) keep a coarse cap.
+		var data []byte
+		var err error
 		if want := b.StateLen(); want >= 0 {
-			if n != uint64(want) {
-				return fmt.Errorf("core: snapshot bank record of %d bytes, want %d", n, want)
-			}
-		} else if n > 1<<30 {
-			return fmt.Errorf("core: snapshot bank record of %d bytes", n)
+			data, err = cr.RecordExact(uint64(want))
+		} else {
+			data, err = cr.RecordCapped(1 << 30)
 		}
-		data := make([]byte, n)
-		if _, err := io.ReadFull(br, data); err != nil {
+		if err != nil {
 			return err
 		}
 		return b.UnmarshalBinary(data)

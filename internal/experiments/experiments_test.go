@@ -39,7 +39,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 
 func TestIDsRegistered(t *testing.T) {
 	ids := IDs()
-	want := []string{"ablation-counter", "ablation-nb", "ablation-skew", "fig1", "fig10",
+	want := []string{"ablation-counter", "ablation-nb", "ablation-skew", "churn", "fig1", "fig10",
 		"fig11", "fig2", "fig3", "fig4", "fig5", "fig6", "fig9", "newalarm", "table1", "table2", "table3"}
 	got := map[string]bool{}
 	for _, id := range ids {
@@ -339,6 +339,31 @@ func TestBatchingAblation(t *testing.T) {
 		}
 		if u := mustF(t, row[6]); u > baseUpdates {
 			t.Errorf("window %s updates = %v > per-event %v", row[3], u, baseUpdates)
+		}
+	}
+}
+
+func TestChurnExperiment(t *testing.T) {
+	p := tinyParams()
+	p.Events = 1200
+	p.Sites = 3
+	tabs, err := Run("churn", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tabs[0].Rows
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (one per strategy)", len(rows))
+	}
+	for _, row := range rows {
+		// Determinism makes the churned run's estimates exactly the clean
+		// run's: the divergence column is the accuracy claim of the
+		// fault-tolerance layer, pinned to zero.
+		if d := mustF(t, row[7]); d != 0 {
+			t.Errorf("%s max estimate divergence = %v, want exactly 0", row[1], d)
+		}
+		if f := mustF(t, row[6]); f < mustF(t, row[5]) {
+			t.Errorf("%s churn frames %v < clean frames %v (replays must add frames)", row[1], f, mustF(t, row[5]))
 		}
 	}
 }
