@@ -20,6 +20,12 @@
 // The cluster is fault tolerant: a site whose connection drops reconnects
 // with the protocol-v3 resume handshake and replays its decided counts, and
 // a killed site process can simply be restarted with the same id.
+// -serve attaches the HTTP query front end (internal/serve) to the
+// coordinator: in the coord role it serves live while frames stream in, in
+// the local role it serves the final estimates after the run. -probe
+// "name=value,..." prints one marginal answered through that HTTP endpoint
+// — the smoke-test hook.
+//
 // -checkpoint makes the coordinator write its run state atomically every
 // -checkpoint-every received frames; after a coordinator crash, restart it
 // with the same flags plus -resume to restore the last checkpoint and let
@@ -27,13 +33,21 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"distbayes/internal/cluster"
 	"distbayes/internal/core"
+	"distbayes/internal/serve"
 )
 
 func main() {
@@ -56,6 +70,8 @@ func main() {
 		ckpt     = flag.String("checkpoint", "", "coordinator checkpoint file (role=coord; enables periodic checkpointing)")
 		ckptN    = flag.Int64("checkpoint-every", 10000, "checkpoint cadence in received frames (with -checkpoint)")
 		resume   = flag.Bool("resume", false, "restore the coordinator from -checkpoint before serving (role=coord)")
+		serveOn  = flag.String("serve", "", "attach an HTTP query server on this address (coord and local roles; use :0 for an ephemeral port)")
+		probe    = flag.String("probe", "", "after the run, print P[name=value,...] via the query server's /v1/marginal (requires -serve)")
 	)
 	flag.Parse()
 
@@ -101,6 +117,7 @@ func main() {
 			fmt.Printf("restored checkpoint %s\n", *ckpt)
 		}
 		fmt.Printf("coordinator listening on %s, waiting for %d sites\n", co.Addr(), cfg.Sites)
+		srv := attachServer(co, *serveOn)
 		// The query mix runs against the coordinator while Serve ingests:
 		// the standalone-role mirror of RunLocal's LiveQueryMicros driver.
 		stop := make(chan struct{})
@@ -120,6 +137,7 @@ func main() {
 			fatal(err)
 		}
 		report(res)
+		finishServer(srv, *probe)
 	case "site":
 		st, err := cluster.NewSite(uint32(*id), *addr).Run()
 		if err != nil {
@@ -127,14 +145,102 @@ func main() {
 		}
 		fmt.Printf("site %d done: cluster stats %+v\n", *id, st)
 	case "local":
-		res, _, err := cluster.RunLocal(cfg)
+		res, co, err := cluster.RunLocal(cfg)
 		if err != nil {
 			fatal(err)
 		}
+		defer co.Close()
 		report(res)
+		// The coordinator stays queryable after the run, so the local role
+		// attaches the server post-run: scripts get the final estimates
+		// over HTTP (the coord role serves live during the run instead).
+		finishServer(attachServer(co, *serveOn), *probe)
 	default:
 		fatal(fmt.Errorf("unknown role %q", *role))
 	}
+}
+
+// attachServer starts the HTTP query front end over the coordinator when
+// -serve is given (internal/serve; the coord role serves live while frames
+// stream in — the paper's query-at-any-time model).
+func attachServer(co *cluster.Coordinator, addr string) *serve.Server {
+	if addr == "" {
+		return nil
+	}
+	srv, err := serve.New(serve.Config{Source: serve.NewCoordinatorSource(co)})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bncluster: query server on %s\n", srv.Addr())
+	return srv
+}
+
+// finishServer answers -probe over the server's own HTTP endpoint, then
+// drains and stops the server.
+func finishServer(srv *serve.Server, probe string) {
+	if srv == nil {
+		if probe != "" {
+			fatal(fmt.Errorf("-probe requires -serve"))
+		}
+		return
+	}
+	if probe != "" {
+		p, err := probeMarginal(srv.Addr(), probe)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("P[%s] = %.6g\n", probe, p)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// probeMarginal parses "name=value,..." and asks /v1/marginal — the full
+// HTTP path, not a shortcut through the coordinator.
+func probeMarginal(addr, probe string) (float64, error) {
+	assign := map[string]int{}
+	for _, part := range strings.Split(probe, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return 0, fmt.Errorf("bad probe assignment %q, want name=value", part)
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return 0, fmt.Errorf("bad probe value %q for %s", kv[1], kv[0])
+		}
+		assign[kv[0]] = v
+	}
+	body, err := json.Marshal(map[string]any{"assign": assign})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post("http://"+addr+"/v1/marginal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("probe: status %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+	}
+	var env struct {
+		Result struct {
+			P float64 `json:"p"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(rb, &env); err != nil {
+		return 0, err
+	}
+	return env.Result.P, nil
 }
 
 func report(res cluster.Result) {

@@ -1,0 +1,195 @@
+// Command bnserve serves model queries over HTTP while continuously
+// training a tracker from a ground-truth stream — a one-process deployment
+// of the serving subsystem (internal/serve) for demos, load tests and
+// BIF-loaded models:
+//
+//	bnserve -net alarm -addr 127.0.0.1:8080 &
+//	curl -d '{"assign":{"alarm_3":1}}' http://127.0.0.1:8080/v1/marginal
+//	curl http://127.0.0.1:8080/statsz
+//
+//	bnserve -bif model.bif -addr 127.0.0.1:8080
+//
+// With -events N the stream stops after N events (the tracker keeps
+// serving); with -events 0 ingestion runs until interrupted. -probe
+// "name=value,..." issues one marginal query against the server's own HTTP
+// endpoint after ingestion settles, prints the answer and exits — the
+// smoke-test and scripting hook.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	"distbayes/internal/bif"
+	"distbayes/internal/bn"
+	"distbayes/internal/core"
+	"distbayes/internal/netgen"
+	"distbayes/internal/serve"
+	"distbayes/internal/stream"
+)
+
+func main() {
+	var (
+		netName  = flag.String("net", "", "built-in network name (see bngen -list)")
+		bifPath  = flag.String("bif", "", "path to a BIF model file")
+		addr     = flag.String("addr", "127.0.0.1:8080", "HTTP listen address (use :0 for an ephemeral port)")
+		strategy = flag.String("strategy", "nonuniform", "exact | baseline | uniform | nonuniform")
+		eps      = flag.Float64("eps", 0.1, "approximation budget")
+		delta    = flag.Float64("delta", 0.25, "failure probability")
+		sites    = flag.Int("sites", 4, "number of simulated sites k")
+		events   = flag.Int("events", 100000, "training events to ingest (0 = stream until interrupted)")
+		seed     = flag.Uint64("seed", 1, "stream seed")
+		maxAge   = flag.Duration("max-age", serve.DefaultMaxSnapshotAge, "snapshot staleness bound (negative = per-request acquire)")
+		probe    = flag.String("probe", "", "after ingest, print P[name=value,...] via /v1/marginal and exit")
+	)
+	flag.Parse()
+
+	model, err := loadModel(*netName, *bifPath)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := core.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	tr, err := core.NewTracker(model.Network(), core.Config{
+		Strategy: st, Eps: *eps, Delta: *delta, Sites: *sites, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	srv, err := serve.New(serve.Config{Source: serve.NewTrackerSource(tr), MaxSnapshotAge: *maxAge})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(*addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bnserve: serving %d-variable model on %s (strategy %s, k=%d)\n",
+		model.Network().Len(), srv.Addr(), *strategy, *sites)
+
+	training := stream.NewTraining(model, stream.NewUniformAssigner(*sites, *seed^0xdead), *seed)
+	ingest := func(n int) {
+		var buf []core.Event
+		for n > 0 {
+			c := n
+			if c > 512 {
+				c = 512
+			}
+			buf = training.NextEvents(buf[:0], c)
+			tr.UpdateEvents(buf)
+			n -= c
+		}
+	}
+
+	if *events > 0 {
+		ingest(*events)
+		fmt.Fprintf(os.Stderr, "bnserve: ingested %d events, serving\n", *events)
+	}
+
+	if *probe != "" {
+		p, err := probeMarginal(srv.Addr(), *probe)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("P[%s] = %.6g\n", *probe, p)
+		shutdown(srv)
+		return
+	}
+
+	if *events == 0 {
+		go func() {
+			for {
+				ingest(4096)
+			}
+		}()
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	shutdown(srv)
+}
+
+func shutdown(srv *serve.Server) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fatal(err)
+	}
+}
+
+// probeMarginal parses "name=value,..." and asks the server's own
+// /v1/marginal endpoint — exercising the full HTTP path, not a shortcut
+// through the tracker.
+func probeMarginal(addr, probe string) (float64, error) {
+	assign := map[string]int{}
+	for _, part := range strings.Split(probe, ",") {
+		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
+		if len(kv) != 2 {
+			return 0, fmt.Errorf("bad probe assignment %q, want name=value", part)
+		}
+		v, err := strconv.Atoi(kv[1])
+		if err != nil {
+			return 0, fmt.Errorf("bad probe value %q for %s", kv[1], kv[0])
+		}
+		assign[kv[0]] = v
+	}
+	body, err := json.Marshal(map[string]any{"assign": assign})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post("http://"+addr+"/v1/marginal", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("probe: status %d: %s", resp.StatusCode, bytes.TrimSpace(rb))
+	}
+	var env struct {
+		Result struct {
+			P float64 `json:"p"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(rb, &env); err != nil {
+		return 0, err
+	}
+	return env.Result.P, nil
+}
+
+func loadModel(netName, bifPath string) (*bn.Model, error) {
+	switch {
+	case netName != "" && bifPath != "":
+		return nil, fmt.Errorf("use either -net or -bif, not both")
+	case netName != "":
+		return netgen.ModelByName(netName)
+	case bifPath != "":
+		data, err := os.ReadFile(bifPath)
+		if err != nil {
+			return nil, err
+		}
+		return bif.Unmarshal(data)
+	default:
+		return nil, fmt.Errorf("one of -net or -bif is required")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bnserve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"distbayes/internal/bif"
+	"distbayes/internal/netgen"
+)
+
+// runMain runs main with args, capturing stdout (stderr is left alone —
+// serving status lines go there so goldens only see the probe output).
+func runMain(t *testing.T, args ...string) string {
+	t.Helper()
+	oldArgs, oldStdout := os.Args, os.Stdout
+	defer func() { os.Args, os.Stdout = oldArgs, oldStdout }()
+	flag.CommandLine = flag.NewFlagSet(args[0], flag.ExitOnError)
+	os.Args = args
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		done <- string(b)
+	}()
+	main()
+	w.Close()
+	return <-done
+}
+
+// TestServeGolden pins the end-to-end probe answer: ingest a fixed stream,
+// query the server's own HTTP endpoint, print. The value is deterministic —
+// same network, seed and event order as any sequential tracker run.
+func TestServeGolden(t *testing.T) {
+	got := runMain(t, "bnserve",
+		"-net", "alarm", "-addr", "127.0.0.1:0",
+		"-events", "20000", "-seed", "1", "-probe", "alarm_3=1")
+	want := "P[alarm_3=1] = 0.242991\n"
+	if got != want {
+		t.Fatalf("golden mismatch:\n got %q\nwant %q", got, want)
+	}
+}
+
+// TestServeBIFModel round-trips the alarm model through a BIF file and
+// checks the served answer matches the built-in network byte for byte —
+// the BIF load path is value-preserving.
+func TestServeBIFModel(t *testing.T) {
+	m, err := netgen.ModelByName("alarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := bif.Marshal("alarm", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "alarm.bif")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	events := "20000"
+	if testing.Short() {
+		events = "4000"
+	}
+	fromNet := runMain(t, "bnserve",
+		"-net", "alarm", "-addr", "127.0.0.1:0",
+		"-events", events, "-seed", "1", "-probe", "alarm_2=0")
+	fromBIF := runMain(t, "bnserve",
+		"-bif", path, "-addr", "127.0.0.1:0",
+		"-events", events, "-seed", "1", "-probe", "alarm_2=0")
+	if fromNet != fromBIF {
+		t.Fatalf("BIF round trip diverged:\n net %q\n bif %q", fromNet, fromBIF)
+	}
+}

@@ -19,6 +19,7 @@
 //	internal/netgen      Table I network generators and variants
 //	internal/stream      workload generation (training streams, test queries)
 //	internal/cluster     live TCP implementation (coordinator + sites)
+//	internal/serve       HTTP query front end over immutable model snapshots
 //	internal/chowliu     offline Chow–Liu structure learning
 //	internal/decay       time-decayed counters (future-work extension)
 //	internal/experiments one driver per paper table/figure
@@ -86,6 +87,25 @@
 // per variable per rebuild. Trackers with a CounterFactory skip the caching
 // (factory counters may change out of band) but keep the batched reads.
 //
+// # Query serving
+//
+// internal/serve puts a network front end on the snapshot read path: an
+// HTTP/JSON query service answering QueryProb, QuerySubsetProb, Classify,
+// ClassifyPartial, InferMarginal and EstimatedModel, where every response
+// is computed against exactly one immutable model snapshot and tagged with
+// that snapshot's version and age (the snapshot-consistency contract; see
+// the serve package documentation). A server fronts either an in-process
+// Tracker (NewTrackerSource) or a live cluster coordinator
+// (serve.NewCoordinatorSource, cmd/bncluster -serve) through the same
+// ModelSource interface. Underneath, snapshot rebuilds read whole counter
+// rows through kind-specialized counter.Bank.EstimateRange bulk loops
+// instead of a per-cell Estimate switch, so rebuilding the ~80k-cell munin
+// network stays cheap enough to refresh on a millisecond staleness bound
+// under live ingest (BenchmarkServeQueries: a multi-client closed-loop
+// load with a hot ingest pump, gated in BENCH_BASELINE.txt). See
+// cmd/bnserve for the standalone binary and examples/serving for an
+// end-to-end cluster + server + client-mix program.
+//
 // # Distributed deployment
 //
 // internal/cluster runs the same architecture over real TCP: k site
@@ -115,6 +135,7 @@ import (
 	"distbayes/internal/core"
 	"distbayes/internal/counter"
 	"distbayes/internal/netgen"
+	"distbayes/internal/serve"
 	"distbayes/internal/stream"
 )
 
@@ -194,6 +215,30 @@ func LoadModel(name string) (*Model, error) { return netgen.ModelByName(name) }
 
 // NetworkNames lists the built-in network names.
 func NetworkNames() []string { return netgen.Names() }
+
+// Query-serving types (internal/serve).
+type (
+	// QueryServer is the HTTP query front end: every response is answered
+	// from one immutable model snapshot and tagged with its version and
+	// age. Attach with Start, stop with Shutdown (drains in-flight
+	// requests), observe via /statsz.
+	QueryServer = serve.Server
+	// QueryServerConfig parameterizes a QueryServer: the ModelSource, the
+	// request-body cap and the snapshot staleness bound.
+	QueryServerConfig = serve.Config
+	// ModelSource is what a QueryServer serves from — an in-process
+	// Tracker (NewTrackerSource) or a live cluster coordinator
+	// (serve.NewCoordinatorSource).
+	ModelSource = serve.ModelSource
+)
+
+// NewQueryServer builds the HTTP query service; pair with
+// QueryServer.Start or mount QueryServer.Handler in an existing server.
+func NewQueryServer(cfg QueryServerConfig) (*QueryServer, error) { return serve.New(cfg) }
+
+// NewTrackerSource adapts a Tracker into the ModelSource a QueryServer
+// serves from.
+func NewTrackerSource(tr *Tracker) ModelSource { return serve.NewTrackerSource(tr) }
 
 // Workload types.
 type (

@@ -201,6 +201,12 @@ type estSnapshot struct {
 	// model caches the normalized bn.Model built from est (EstimatedModel),
 	// populated lazily at most once per snapshot.
 	model atomic.Pointer[bn.Model]
+	// version is the sum of the per-stripe versions — monotone
+	// non-decreasing across snapshots (every accepted update bumps one
+	// stripe version) — and builtAt is when the estimates were computed.
+	// Surfaced by the serving layer (Snapshot.Version/BuiltAt).
+	version uint64
+	builtAt time.Time
 }
 
 // siteSlot is the coordinator's supervision record for one site id: the
@@ -818,6 +824,7 @@ func (co *Coordinator) snapshot() *estSnapshot {
 		copy(ns.est, old.est) // start from the previous estimates; dirty stripes overwrite
 	}
 	nStripes := uint32(len(co.stripes))
+	k, sqrtK := co.cfg.Sites, co.sqrtK
 	for s := range co.stripes {
 		st := &co.stripes[s]
 		if old != nil {
@@ -831,19 +838,46 @@ func (co *Coordinator) snapshot() *estSnapshot {
 		// within a row instead of striding across every site's row once per
 		// counter. Accumulation order (site 0..k-1 from zero) matches
 		// estimateLocked's, so both paths stay bit-identical.
-		for id := uint32(s); id < total; id += nStripes {
-			ns.est[id] = 0
-		}
-		for site := 0; site < co.cfg.Sites; site++ {
-			row := co.reported[site]
+		if nStripes == 1 {
+			// The single stripe owns every id: walk the layout's equal-eps
+			// sections so the per-id eps load and the strided index
+			// arithmetic drop out of the inner loop — the coordinator-side
+			// sibling of counter.Bank.EstimateRange. Same float operations
+			// on the same ascending ids as the strided walk below, so the
+			// two paths are bit-identical.
+			est := ns.est
+			for id := range est {
+				est[id] = 0
+			}
+			for site := 0; site < k; site++ {
+				row := co.reported[site]
+				for _, sec := range co.layout.Sections() {
+					eps := sec.Eps
+					for id := sec.Lo; id < sec.Hi; id++ {
+						r := row[id]
+						est[id] += float64(r) + adjustmentSqrtK(k, sqrtK, eps, r)
+					}
+				}
+			}
+		} else {
 			for id := uint32(s); id < total; id += nStripes {
-				r := row[id]
-				ns.est[id] += float64(r) + adjustmentSqrtK(co.cfg.Sites, co.sqrtK, co.layout.Eps(id), r)
+				ns.est[id] = 0
+			}
+			for site := 0; site < k; site++ {
+				row := co.reported[site]
+				for id := uint32(s); id < total; id += nStripes {
+					r := row[id]
+					ns.est[id] += float64(r) + adjustmentSqrtK(k, sqrtK, co.layout.Eps(id), r)
+				}
 			}
 		}
 		ns.versions[s] = st.version.Load() // under mu: stable
 		st.mu.Unlock()
 	}
+	for _, v := range ns.versions {
+		ns.version += v
+	}
+	ns.builtAt = time.Now()
 	co.snap.Store(ns)
 	return ns
 }
@@ -873,7 +907,13 @@ func (co *Coordinator) QueryProb(x []int) float64 {
 // parent configuration has no mass become uniform. Valid at any time, like
 // QueryProb.
 func (co *Coordinator) EstimatedModel() (*bn.Model, error) {
-	snap := co.snapshot()
+	return co.modelFor(co.snapshot())
+}
+
+// modelFor returns snap's cached normalized model, building and publishing
+// it on first use — shared by EstimatedModel and the serving layer's
+// Snapshot.Model.
+func (co *Coordinator) modelFor(snap *estSnapshot) (*bn.Model, error) {
 	if m := snap.model.Load(); m != nil {
 		return m, nil
 	}

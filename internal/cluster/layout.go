@@ -19,6 +19,20 @@ type Layout struct {
 	total   uint32
 	// eps[id] is the counter's error parameter under the chosen allocation.
 	eps []float64
+	// sections are the contiguous equal-eps id ranges (per variable: its
+	// pair block, then its parent block) in ascending id order, covering
+	// [0, total) exactly.
+	sections []Section
+}
+
+// Section is one contiguous counter-id range sharing a single error
+// parameter. Bulk walks over the whole counter space — the coordinator's
+// snapshot rebuild — iterate sections so the per-id eps lookup hoists out
+// of the inner loop (the coordinator-side sibling of
+// counter.Bank.EstimateRange).
+type Section struct {
+	Lo, Hi uint32
+	Eps    float64
 }
 
 // NewLayout computes the layout and per-counter error parameters for the
@@ -42,6 +56,7 @@ func NewLayout(net *bn.Network, strategy core.Strategy, eps float64) (*Layout, e
 	}
 	l.total = off
 	l.eps = make([]float64, off)
+	l.sections = make([]Section, 0, 2*net.Len())
 	for i := 0; i < net.Len(); i++ {
 		for c := 0; c < net.Card(i)*net.ParentCard(i); c++ {
 			l.eps[l.pairOff[i]+uint32(c)] = alloc.EpsA[i]
@@ -49,9 +64,16 @@ func NewLayout(net *bn.Network, strategy core.Strategy, eps float64) (*Layout, e
 		for c := 0; c < net.ParentCard(i); c++ {
 			l.eps[l.parOff[i]+uint32(c)] = alloc.EpsB[i]
 		}
+		l.sections = append(l.sections,
+			Section{Lo: l.pairOff[i], Hi: l.parOff[i], Eps: alloc.EpsA[i]},
+			Section{Lo: l.parOff[i], Hi: l.parOff[i] + uint32(net.ParentCard(i)), Eps: alloc.EpsB[i]})
 	}
 	return l, nil
 }
+
+// Sections returns the contiguous equal-eps ranges covering
+// [0, NumCounters()) in ascending id order. Read-only.
+func (l *Layout) Sections() []Section { return l.sections }
 
 // NumCounters returns the total number of counters.
 func (l *Layout) NumCounters() uint32 { return l.total }

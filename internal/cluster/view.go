@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"time"
+
+	"distbayes/internal/bn"
+)
+
+// Snapshot is an exported read handle on one immutable estimate snapshot —
+// the coordinator's version-validated snapshot surfaced for the serving
+// layer (internal/serve), mirroring core.Tracker's Snapshot. Valid at any
+// time: mid-run it reflects the reports received so far (the paper's
+// query-at-any-time model), after Serve returns it is the final estimate.
+type Snapshot struct {
+	co *Coordinator
+	s  *estSnapshot
+}
+
+// AcquireSnapshot returns the current estimate snapshot, rebuilding only
+// the stripes whose version moved since the cached one was built (a
+// sequential-coordinator rebuild walks the layout's equal-eps sections in
+// one bulk pass). Estimate snapshots are garbage-collected, so Release is
+// a no-op — it exists to satisfy the serving layer's Snapshot contract.
+func (co *Coordinator) AcquireSnapshot() *Snapshot {
+	return &Snapshot{co: co, s: co.snapshot()}
+}
+
+// Factor returns the tracked estimate of P[X_i = v | parent config pidx]:
+// the pair estimate over the parent estimate, or 0 when the parent
+// configuration has no mass — exactly the factor the coordinator's own
+// QueryProb multiplies.
+func (s *Snapshot) Factor(i, v, pidx int) float64 {
+	den := s.s.est[s.co.layout.ParID(i, pidx)]
+	if den <= 0 {
+		return 0
+	}
+	return s.s.est[s.co.layout.PairID(i, v, pidx)] / den
+}
+
+// Version identifies the reported-count state the snapshot was built from;
+// monotone non-decreasing across acquisitions from one coordinator.
+func (s *Snapshot) Version() uint64 { return s.s.version }
+
+// BuiltAt is when the snapshot's estimates were computed.
+func (s *Snapshot) BuiltAt() time.Time { return s.s.builtAt }
+
+// Model returns the snapshot's estimates normalized into a bn.Model, built
+// at most once per snapshot (the same cache EstimatedModel uses); immutable.
+func (s *Snapshot) Model() (*bn.Model, error) {
+	return s.co.modelFor(s.s)
+}
+
+// Release is a no-op: estimate snapshots carry no pooled resources.
+func (s *Snapshot) Release() {}

@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"distbayes/internal/bn"
 	"distbayes/internal/counter"
@@ -651,15 +652,13 @@ func growFloats(s []float64, n int) []float64 {
 }
 
 // readRowsLocked copies variable i's raw estimates into pair (len J_i·K_i)
-// and par (len K_i). Callers must hold i's stripe lock.
+// and par (len K_i) with one kind-specialized bulk read per bank
+// (counter.Bank.EstimateRange) — the vectorized half of the snapshot
+// rebuild, which walks every CPT cell (munin: ~80k). Callers must hold i's
+// stripe lock.
 func (t *Tracker) readRowsLocked(i int, pair, par []float64) {
-	pb, qb := t.pair[i], t.par[i]
-	for c := range pair {
-		pair[c] = pb.Estimate(c)
-	}
-	for c := range par {
-		par[c] = qb.Estimate(c)
-	}
+	t.pair[i].EstimateRange(0, len(pair), pair)
+	t.par[i].EstimateRange(0, len(par), par)
 }
 
 // modelSnapshot is one consistent-enough view of every CPD factor, built by
@@ -684,6 +683,14 @@ type modelSnapshot struct {
 	// model caches the normalized bn.Model built from factors
 	// (EstimatedModel), populated lazily at most once per snapshot.
 	model atomic.Pointer[bn.Model]
+	// version identifies the counter state this snapshot was built from:
+	// the sum of the per-stripe versions, monotone non-decreasing across
+	// snapshots because every mutation bumps exactly one stripe version.
+	// builtAt records when the rows were read. Both are surfaced to the
+	// serving layer (Snapshot.Version/BuiltAt) so every query reply can say
+	// how fresh its snapshot is.
+	version uint64
+	builtAt time.Time
 
 	// refs counts live references: one held by the tracker's cache slot
 	// while this is the published snapshot, plus one per in-flight query.
@@ -871,6 +878,10 @@ func (t *Tracker) buildSnapshot(old *modelSnapshot, cacheable bool) *modelSnapsh
 		ns.versions[s] = sh.version.Load() // under mu: stable
 		sh.mu.Unlock()
 	}
+	for _, v := range ns.versions {
+		ns.version += v
+	}
+	ns.builtAt = time.Now()
 	if cacheable {
 		ns.refs.Store(2) // the cache slot plus the returning caller
 		t.snap.Store(ns)
@@ -996,16 +1007,23 @@ func logOrNegInf(p float64) float64 {
 func (t *Tracker) EstimatedModel() (*bn.Model, error) {
 	snap := t.snapshot()
 	defer t.releaseSnap(snap)
-	if m := snap.model.Load(); m != nil {
+	return snap.normalizedModel(t.net)
+}
+
+// normalizedModel returns the snapshot's cached bn.Model, building and
+// publishing it on first use — shared by EstimatedModel and the serving
+// layer's Snapshot.Model. Callers must hold a reference on the snapshot.
+func (s *modelSnapshot) normalizedModel(net *bn.Network) (*bn.Model, error) {
+	if m := s.model.Load(); m != nil {
 		return m, nil
 	}
-	m, err := bn.NewNormalizedModel(t.net, func(i int, tbl []float64) {
-		copy(tbl, snap.factors[i])
+	m, err := bn.NewNormalizedModel(net, func(i int, tbl []float64) {
+		copy(tbl, s.factors[i])
 	})
 	if err != nil {
 		return nil, err
 	}
-	snap.model.Store(m)
+	s.model.Store(m)
 	return m, nil
 }
 

@@ -1,0 +1,57 @@
+package core
+
+import (
+	"time"
+
+	"distbayes/internal/bn"
+)
+
+// Snapshot is an exported read handle on one immutable model snapshot —
+// the tracker's refcounted snapshot machinery surfaced as a read-replica
+// primitive for the serving layer (internal/serve). Every Factor read
+// against one Snapshot observes a single consistent materialization of the
+// counter state; ingestion proceeding underneath retires the snapshot
+// without waiting for readers.
+//
+// A Snapshot must be released exactly once (Release), after which it must
+// not be used. Snapshots are not safe for concurrent use through one handle;
+// acquire one per reader.
+type Snapshot struct {
+	t *Tracker
+	s *modelSnapshot
+}
+
+// AcquireSnapshot returns the current model snapshot with a read reference
+// held, rebuilding only the stripes whose version moved since the cached
+// snapshot was built (a full rebuild bulk-reads every CPT cell via
+// counter.Bank.EstimateRange). The caller owns one reference and must call
+// Release exactly once.
+func (t *Tracker) AcquireSnapshot() *Snapshot {
+	return &Snapshot{t: t, s: t.snapshot()}
+}
+
+// Factor returns the smoothed tracked estimate of
+// P[X_i = v | parent config pidx] as materialized in this snapshot —
+// the same value the tracker's own QueryProb/Classify would multiply.
+func (s *Snapshot) Factor(i, v, pidx int) float64 {
+	return s.s.factors[i][pidx*s.t.net.Card(i)+v]
+}
+
+// Version identifies the counter state the snapshot was built from; it is
+// monotone non-decreasing across acquisitions from one tracker.
+func (s *Snapshot) Version() uint64 { return s.s.version }
+
+// BuiltAt is when the snapshot's rows were read from the counters.
+func (s *Snapshot) BuiltAt() time.Time { return s.s.builtAt }
+
+// Model returns the snapshot's factors normalized into a bn.Model, built at
+// most once per snapshot and shared by subsequent calls (the same cache
+// EstimatedModel uses). The model is immutable and remains valid after
+// Release.
+func (s *Snapshot) Model() (*bn.Model, error) {
+	return s.s.normalizedModel(s.t.net)
+}
+
+// Release drops the reference; the last drop recycles the snapshot's
+// factor rows.
+func (s *Snapshot) Release() { s.t.releaseSnap(s.s) }

@@ -1,0 +1,293 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"distbayes/internal/bn"
+)
+
+// Request decoding. Two body shapes are accepted, dispatched on the first
+// byte: a JSON object, or (for the full-assignment endpoints) a compact CSV
+// fast path — "v0,v1,...", one value per variable in declaration order —
+// that a closed-loop client can emit with zero encoding cost. Everything is
+// validated against the network before use: unknown names, out-of-range
+// values, wrong arity and non-closed subsets are rejected, and nothing
+// proportional to a claimed size is allocated before the claim is checked
+// (the CSV parser counts separators first; JSON allocation is bounded by
+// the server's body cap, enforced before the decoder sees a byte).
+
+// jsonQuery is the union request shape of the POST endpoints; each decoder
+// reads the fields it needs.
+type jsonQuery struct {
+	// X is a full assignment in variable order (x[i] = value of variable i).
+	X []int `json:"x"`
+	// Assign maps variable names to values; a full assignment for
+	// queryprob/classify, a subset for subsetprob/marginal.
+	Assign map[string]int `json:"assign"`
+	// Target names the classification target (classify/classifypartial).
+	Target string `json:"target"`
+	// Evidence maps observed variable names to values (classifypartial).
+	Evidence map[string]int `json:"evidence"`
+}
+
+func decodeJSON(body []byte) (*jsonQuery, error) {
+	var q jsonQuery
+	if err := json.Unmarshal(body, &q); err != nil {
+		return nil, fmt.Errorf("serve: bad request JSON: %w", err)
+	}
+	return &q, nil
+}
+
+// parseUint parses a small decimal. The length cap keeps any accepted
+// value far from overflow (cardinalities are tiny).
+func parseUint(tok []byte) (int, error) {
+	if len(tok) == 0 {
+		return 0, fmt.Errorf("empty value")
+	}
+	if len(tok) > 9 {
+		return 0, fmt.Errorf("value too long")
+	}
+	v := 0
+	for _, c := range tok {
+		if c < '0' || c > '9' {
+			return 0, fmt.Errorf("not a number")
+		}
+		v = v*10 + int(c-'0')
+	}
+	return v, nil
+}
+
+// parseCSVAssignment parses the compact "v0,v1,..." form. The separator
+// count is validated before any parsing, so a wrong-arity body is rejected
+// in one scan with no allocation beyond the result slice.
+func parseCSVAssignment(nw *bn.Network, body []byte) ([]int, error) {
+	n := nw.Len()
+	if c := bytes.Count(body, []byte{','}) + 1; c != n {
+		return nil, fmt.Errorf("serve: %d values, want %d (one per variable)", c, n)
+	}
+	x := make([]int, n)
+	for i := 0; i < n; i++ {
+		var tok []byte
+		if j := bytes.IndexByte(body, ','); j >= 0 {
+			tok, body = body[:j], body[j+1:]
+		} else {
+			tok, body = body, nil
+		}
+		v, err := parseUint(bytes.TrimSpace(tok))
+		if err != nil {
+			return nil, fmt.Errorf("serve: value %d: %v", i, err)
+		}
+		if v >= nw.Card(i) {
+			return nil, fmt.Errorf("serve: value %d = %d out of range (card %d)", i, v, nw.Card(i))
+		}
+		x[i] = v
+	}
+	return x, nil
+}
+
+// resolveVar maps a variable name to its index.
+func resolveVar(names map[string]int, name string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("serve: missing variable name")
+	}
+	i, ok := names[name]
+	if !ok {
+		return 0, fmt.Errorf("serve: unknown variable %q", name)
+	}
+	return i, nil
+}
+
+// applyAssign folds a name→value map into x, marking assigned indices in
+// seen, with every name and value validated.
+func applyAssign(nw *bn.Network, names map[string]int, m map[string]int, x []int, seen []bool) error {
+	for name, v := range m {
+		i, ok := names[name]
+		if !ok {
+			return fmt.Errorf("serve: unknown variable %q", name)
+		}
+		if v < 0 || v >= nw.Card(i) {
+			return fmt.Errorf("serve: value %d out of range for %s (card %d)", v, name, nw.Card(i))
+		}
+		x[i] = v
+		seen[i] = true
+	}
+	return nil
+}
+
+// assignmentFromQuery builds a full assignment from a decoded JSON query:
+// positional "x" or complete name map "assign". skip, when >= 0, is a
+// variable whose value may be omitted and is zeroed (the classification
+// target — its cell is scratch).
+func assignmentFromQuery(nw *bn.Network, names map[string]int, q *jsonQuery, skip int) ([]int, error) {
+	n := nw.Len()
+	switch {
+	case q.X != nil:
+		if len(q.X) != n {
+			return nil, fmt.Errorf("serve: x has %d values, want %d", len(q.X), n)
+		}
+		x := make([]int, n)
+		for i, v := range q.X {
+			if i == skip {
+				continue
+			}
+			if v < 0 || v >= nw.Card(i) {
+				return nil, fmt.Errorf("serve: x[%d] = %d out of range (card %d)", i, v, nw.Card(i))
+			}
+			x[i] = v
+		}
+		if skip >= 0 {
+			x[skip] = 0
+		}
+		return x, nil
+	case q.Assign != nil:
+		x := make([]int, n)
+		seen := make([]bool, n)
+		if err := applyAssign(nw, names, q.Assign, x, seen); err != nil {
+			return nil, err
+		}
+		for i := 0; i < n; i++ {
+			if !seen[i] && i != skip {
+				return nil, fmt.Errorf("serve: variable %s unassigned", nw.Var(i).Name)
+			}
+		}
+		return x, nil
+	}
+	return nil, fmt.Errorf(`serve: request needs "x" or "assign"`)
+}
+
+// decodeFullAssignment decodes a full-assignment body: CSV fast path or
+// JSON ("x" / "assign").
+func decodeFullAssignment(nw *bn.Network, names map[string]int, body []byte) ([]int, error) {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 {
+		return nil, fmt.Errorf("serve: empty request body")
+	}
+	if body[0] != '{' {
+		return parseCSVAssignment(nw, body)
+	}
+	q, err := decodeJSON(body)
+	if err != nil {
+		return nil, err
+	}
+	return assignmentFromQuery(nw, names, q, -1)
+}
+
+// decodeSubsetAssignment decodes a subset query: JSON "assign" naming the
+// member variables. The set must be ancestrally closed — every member's
+// parents assigned too — for the subset factorization to be exact; the
+// in-process tracker trusts its callers here, the network front end
+// validates. Returns the members ascending plus the embedding assignment.
+func decodeSubsetAssignment(nw *bn.Network, names map[string]int, body []byte) ([]int, []int, error) {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 || body[0] != '{' {
+		return nil, nil, fmt.Errorf("serve: subset query wants a JSON body with \"assign\"")
+	}
+	q, err := decodeJSON(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(q.Assign) == 0 {
+		return nil, nil, fmt.Errorf(`serve: subset query needs a non-empty "assign"`)
+	}
+	x := make([]int, nw.Len())
+	seen := make([]bool, nw.Len())
+	if err := applyAssign(nw, names, q.Assign, x, seen); err != nil {
+		return nil, nil, err
+	}
+	set := make([]int, 0, len(q.Assign))
+	for i, ok := range seen {
+		if !ok {
+			continue
+		}
+		set = append(set, i)
+		for _, p := range nw.Parents(i) {
+			if !seen[p] {
+				return nil, nil, fmt.Errorf("serve: subset not ancestrally closed: %s assigned but its parent %s is not",
+					nw.Var(i).Name, nw.Var(p).Name)
+			}
+		}
+	}
+	return set, x, nil
+}
+
+// decodeClassify decodes a classification request: JSON "target" plus a
+// full assignment ("x" or "assign"); the target's own value may be omitted.
+func decodeClassify(nw *bn.Network, names map[string]int, body []byte) (int, []int, error) {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 || body[0] != '{' {
+		return 0, nil, fmt.Errorf("serve: classify wants a JSON body with \"target\"")
+	}
+	q, err := decodeJSON(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	target, err := resolveVar(names, q.Target)
+	if err != nil {
+		return 0, nil, err
+	}
+	x, err := assignmentFromQuery(nw, names, q, target)
+	if err != nil {
+		return 0, nil, err
+	}
+	return target, x, nil
+}
+
+// decodeClassifyPartial decodes "target" + "evidence" (a name→value map of
+// the observed subset, which must not include the target).
+func decodeClassifyPartial(nw *bn.Network, names map[string]int, body []byte) (int, map[int]int, error) {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 || body[0] != '{' {
+		return 0, nil, fmt.Errorf("serve: classifypartial wants a JSON body with \"target\" and \"evidence\"")
+	}
+	q, err := decodeJSON(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	target, err := resolveVar(names, q.Target)
+	if err != nil {
+		return 0, nil, err
+	}
+	ev, err := indexMap(nw, names, q.Evidence)
+	if err != nil {
+		return 0, nil, err
+	}
+	if _, ok := ev[target]; ok {
+		return 0, nil, fmt.Errorf("serve: target %s appears in evidence", q.Target)
+	}
+	return target, ev, nil
+}
+
+// decodeMarginal decodes a marginal query: JSON "assign", a non-empty
+// name→value map over any variable subset.
+func decodeMarginal(nw *bn.Network, names map[string]int, body []byte) (map[int]int, error) {
+	body = bytes.TrimSpace(body)
+	if len(body) == 0 || body[0] != '{' {
+		return nil, fmt.Errorf("serve: marginal query wants a JSON body with \"assign\"")
+	}
+	q, err := decodeJSON(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.Assign) == 0 {
+		return nil, fmt.Errorf(`serve: marginal query needs a non-empty "assign"`)
+	}
+	return indexMap(nw, names, q.Assign)
+}
+
+// indexMap validates a name→value map into an index→value map.
+func indexMap(nw *bn.Network, names map[string]int, m map[string]int) (map[int]int, error) {
+	out := make(map[int]int, len(m))
+	for name, v := range m {
+		i, ok := names[name]
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown variable %q", name)
+		}
+		if v < 0 || v >= nw.Card(i) {
+			return nil, fmt.Errorf("serve: value %d out of range for %s (card %d)", v, name, nw.Card(i))
+		}
+		out[i] = v
+	}
+	return out, nil
+}

@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"distbayes/internal/netgen"
+)
+
+// FuzzServeRequest throws arbitrary bytes at every HTTP request decoder —
+// evidence maps, variable names, subset queries, positional and CSV
+// assignments — and asserts a decoder either rejects the body or returns a
+// fully validated result: in-range values, known variables, ancestrally
+// closed subsets. This is the serving-layer edge of the repo's
+// length-validate-before-allocating hardening standard (FuzzDecodeFrame,
+// FuzzLoadState).
+func FuzzServeRequest(f *testing.F) {
+	nw, err := netgen.ByName("alarm")
+	if err != nil {
+		f.Fatal(err)
+	}
+	names := make(map[string]int, nw.Len())
+	for i := 0; i < nw.Len(); i++ {
+		names[nw.Var(i).Name] = i
+	}
+
+	for _, seed := range fuzzServeSeeds() {
+		f.Add([]byte(seed))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if x, err := decodeFullAssignment(nw, names, data); err == nil {
+			if len(x) != nw.Len() {
+				t.Fatalf("full assignment has %d values, want %d", len(x), nw.Len())
+			}
+			for i, v := range x {
+				if v < 0 || v >= nw.Card(i) {
+					t.Fatalf("x[%d] = %d out of range", i, v)
+				}
+			}
+		}
+		if set, x, err := decodeSubsetAssignment(nw, names, data); err == nil {
+			if len(set) == 0 {
+				t.Fatal("accepted empty subset")
+			}
+			for idx, i := range set {
+				if idx > 0 && set[idx-1] >= i {
+					t.Fatal("subset not ascending")
+				}
+				if x[i] < 0 || x[i] >= nw.Card(i) {
+					t.Fatalf("subset value %d out of range for %d", x[i], i)
+				}
+				inSet := func(j int) bool {
+					for _, s := range set {
+						if s == j {
+							return true
+						}
+					}
+					return false
+				}
+				for _, p := range nw.Parents(i) {
+					if !inSet(p) {
+						t.Fatalf("accepted non-closed subset: %d missing parent %d", i, p)
+					}
+				}
+			}
+		}
+		if target, x, err := decodeClassify(nw, names, data); err == nil {
+			if target < 0 || target >= nw.Len() || len(x) != nw.Len() {
+				t.Fatalf("classify target %d / arity %d invalid", target, len(x))
+			}
+		}
+		if target, ev, err := decodeClassifyPartial(nw, names, data); err == nil {
+			if _, ok := ev[target]; ok {
+				t.Fatal("accepted target in evidence")
+			}
+			for i, v := range ev {
+				if i < 0 || i >= nw.Len() || v < 0 || v >= nw.Card(i) {
+					t.Fatalf("evidence %d=%d out of range", i, v)
+				}
+			}
+		}
+		if assign, err := decodeMarginal(nw, names, data); err == nil {
+			if len(assign) == 0 {
+				t.Fatal("accepted empty marginal")
+			}
+			for i, v := range assign {
+				if i < 0 || i >= nw.Len() || v < 0 || v >= nw.Card(i) {
+					t.Fatalf("marginal %d=%d out of range", i, v)
+				}
+			}
+		}
+	})
+}
+
+// fuzzServeSeeds is the seed corpus: one representative body per request
+// shape plus malformed edges.
+func fuzzServeSeeds() []string {
+	csv := ""
+	for i := 0; i < 37; i++ {
+		if i > 0 {
+			csv += ","
+		}
+		csv += "1"
+	}
+	return []string{
+		"",
+		csv,
+		"0,1,2",
+		"9999999999,0",
+		`{"x":[0,1,0]}`,
+		`{"assign":{"alarm_0":1,"alarm_1":0}}`,
+		`{"assign":{"nope":0}}`,
+		`{"target":"alarm_3","x":[0,0,0]}`,
+		`{"target":"alarm_3","assign":{"alarm_0":1}}`,
+		`{"target":"alarm_0","evidence":{"alarm_1":1}}`,
+		`{"target":"alarm_0","evidence":{"alarm_0":0}}`,
+		`{"assign":{}}`,
+		`{"x": notjson`,
+		"{\"assign\":{\"alarm_0\":-1}}",
+		" \t\n{\"x\":[]}",
+	}
+}
+
+// TestWriteFuzzServeCorpus regenerates the committed seed corpus under
+// testdata/fuzz when DISTBAYES_WRITE_FUZZ_CORPUS is set; normally it only
+// verifies the corpus directory exists.
+func TestWriteFuzzServeCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzServeRequest")
+	if os.Getenv("DISTBAYES_WRITE_FUZZ_CORPUS") == "" {
+		if _, err := os.Stat(dir); err != nil {
+			t.Fatalf("seed corpus missing: %v (regenerate with DISTBAYES_WRITE_FUZZ_CORPUS=1)", err)
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for i, seed := range fuzzServeSeeds() {
+		path := filepath.Join(dir, "seed"+strconv.Itoa(i))
+		data := []byte("go test fuzz v1\n[]byte(" + strconv.Quote(seed) + ")\n")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

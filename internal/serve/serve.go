@@ -1,0 +1,545 @@
+// Package serve exposes a continuously trained model as a network query
+// service: an HTTP/JSON front end answering QueryProb, QuerySubsetProb,
+// Classify, ClassifyPartial, InferMarginal and EstimatedModel from
+// immutable model snapshots, backed by an in-process core.Tracker or a
+// live cluster.Coordinator through the same ModelSource interface — the
+// user-facing half of the paper's query-at-any-time model: the sites
+// train, the coordinator tracks, the server answers.
+//
+// Endpoints (POST unless noted): /v1/queryprob, /v1/subsetprob,
+// /v1/classify, /v1/classifypartial, /v1/marginal, GET /v1/model, plus
+// GET /statsz (qps, snapshot version/age, acquire/rebuild counts, latency
+// histogram) and GET /healthz. See decode.go for the request shapes.
+//
+// # Snapshot-consistency contract
+//
+// Every response is computed from exactly ONE immutable snapshot: the
+// request acquires a snapshot reference, reads all its factors from that
+// snapshot, and releases it. A response therefore never mixes counter
+// states from before and after a concurrent ingest flush, and ingestion
+// never blocks on a slow reader — the tracker's snapshots are refcounted,
+// so an ingest burst simply retires the served snapshot, which is
+// recycled when its last reader releases it. Every reply carries the
+// snapshot's version (monotone non-decreasing) and age in the "snapshot"
+// field, so a client knows exactly how fresh its answer is.
+//
+// Config.MaxSnapshotAge bounds staleness: the server shares one acquired
+// snapshot across requests for at most that long (default 5ms) before
+// re-acquiring. This also bounds the rebuild rate under a query hammer —
+// a munin-scale rebuild bulk-reads ~80k cells
+// (counter.Bank.EstimateRange), and acquiring per request would rebuild
+// per request whenever ingest runs hot. Set it negative to re-acquire on
+// every request (strict freshness, same answers a direct Tracker query
+// would give at that instant).
+//
+// # Hardening
+//
+// Request bodies are bounded by Config.MaxBodyBytes with the declared
+// length checked before any read and a MaxBytesReader backstopping
+// undeclared (chunked) bodies — the same length-validate-before-allocating
+// standard as the cluster's frame decoders (the decoders themselves are
+// fuzzed: FuzzServeRequest). Every decoded name and value is validated
+// against the network, subset queries must be ancestrally closed, and
+// Shutdown drains in-flight requests before releasing the cached
+// snapshot.
+//
+// See examples/serving for an end-to-end run: a TCP cluster training
+// while an attached server answers a closed-loop client mix.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distbayes/internal/bn"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxBodyBytes   = 1 << 20
+	DefaultMaxSnapshotAge = 5 * time.Millisecond
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Source is the model back end (required): NewTrackerSource or
+	// NewCoordinatorSource.
+	Source ModelSource
+	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes).
+	MaxBodyBytes int64
+	// MaxSnapshotAge is how long one acquired snapshot may be shared
+	// across requests (0 = DefaultMaxSnapshotAge, negative = re-acquire
+	// per request). See the package comment.
+	MaxSnapshotAge time.Duration
+}
+
+// cachedSnap is one server-held snapshot acquisition shared by concurrent
+// requests: refs counts the cache slot (1) plus every in-flight request,
+// and the underlying source snapshot is released exactly once, when the
+// last reference drops.
+type cachedSnap struct {
+	snap     Snapshot
+	acquired time.Time
+	refs     atomic.Int32
+}
+
+// Server is the HTTP query front end. Create with New, start with Start
+// (or mount Handler yourself), stop with Shutdown.
+type Server struct {
+	src     ModelSource
+	net     *bn.Network
+	names   map[string]int
+	maxBody int64
+	maxAge  time.Duration
+
+	mux *http.ServeMux
+	hs  *http.Server
+	ln  net.Listener
+
+	// cache is the shared snapshot acquisition; cacheMu serializes
+	// re-acquisition so a stale cache triggers one source rebuild, not one
+	// per waiting request.
+	cacheMu sync.Mutex
+	cache   atomic.Pointer[cachedSnap]
+
+	start       time.Time
+	requests    atomic.Int64
+	errors      atomic.Int64
+	acquires    atomic.Int64
+	refreshes   atomic.Int64
+	lastVersion atomic.Uint64
+	byEndpoint  map[string]*atomic.Int64
+	lat         histogram
+	qps         qpsWindow
+}
+
+// New builds a server over cfg.Source.
+func New(cfg Config) (*Server, error) {
+	if cfg.Source == nil {
+		return nil, fmt.Errorf("serve: Config.Source is required")
+	}
+	s := &Server{
+		src:     cfg.Source,
+		net:     cfg.Source.Network(),
+		maxBody: cfg.MaxBodyBytes,
+		maxAge:  cfg.MaxSnapshotAge,
+		start:   time.Now(),
+	}
+	if s.maxBody == 0 {
+		s.maxBody = DefaultMaxBodyBytes
+	}
+	if s.maxAge == 0 {
+		s.maxAge = DefaultMaxSnapshotAge
+	}
+	s.names = make(map[string]int, s.net.Len())
+	for i := 0; i < s.net.Len(); i++ {
+		s.names[s.net.Var(i).Name] = i
+	}
+	s.mux = http.NewServeMux()
+	s.byEndpoint = make(map[string]*atomic.Int64)
+	post := func(name string, fn func(body []byte, snap Snapshot) (any, error)) {
+		ctr := new(atomic.Int64)
+		s.byEndpoint[name] = ctr
+		s.mux.HandleFunc("/v1/"+name, s.handle(ctr, fn))
+	}
+	post("queryprob", s.queryProb)
+	post("subsetprob", s.subsetProb)
+	post("classify", s.classify)
+	post("classifypartial", s.classifyPartial)
+	post("marginal", s.marginal)
+	s.byEndpoint["model"] = new(atomic.Int64)
+	s.mux.HandleFunc("/v1/model", s.handleModel)
+	s.mux.HandleFunc("/statsz", s.handleStatsz)
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	return s, nil
+}
+
+// Handler returns the server's HTTP handler, for tests or embedding in an
+// existing mux; Start is not required when serving through it.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start binds addr and serves in a background goroutine; it returns once
+// the listener is bound, so Addr is valid immediately (use ":0" to let the
+// kernel pick a port).
+func (s *Server) Start(addr string) error {
+	if s.hs != nil {
+		return fmt.Errorf("serve: already started")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.ln = ln
+	s.hs = &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	go s.hs.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound listen address (after Start).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops accepting connections, drains in-flight requests (every
+// accepted request completes and its response is written), then releases
+// the cached snapshot reference. The context bounds the drain, as in
+// net/http.Server.Shutdown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	var err error
+	if s.hs != nil {
+		err = s.hs.Shutdown(ctx)
+	}
+	s.cacheMu.Lock()
+	old := s.cache.Swap(nil)
+	s.cacheMu.Unlock()
+	if old != nil {
+		s.releaseRef(old)
+	}
+	return err
+}
+
+// acquireRef returns a referenced snapshot for one request; pair with
+// releaseRef. The fast path shares the cached acquisition while it is
+// younger than maxAge; the slow path re-acquires from the source under
+// cacheMu — one rebuild no matter how many requests found the cache stale.
+func (s *Server) acquireRef() *cachedSnap {
+	if s.maxAge < 0 {
+		c := &cachedSnap{snap: s.src.AcquireSnapshot(), acquired: time.Now()}
+		c.refs.Store(1)
+		s.noteAcquire(c)
+		return c
+	}
+	for {
+		c := s.cache.Load()
+		if c != nil && time.Since(c.acquired) <= s.maxAge {
+			if r := c.refs.Load(); r > 0 && c.refs.CompareAndSwap(r, r+1) {
+				return c
+			}
+			continue // swapped out or contended; retry
+		}
+		s.cacheMu.Lock()
+		if c2 := s.cache.Load(); c2 != nil && c2 != c && time.Since(c2.acquired) <= s.maxAge {
+			// Someone refreshed while we waited for the lock. The cache
+			// slot's reference cannot drop while we hold cacheMu, so the
+			// increment cannot race retirement.
+			c2.refs.Add(1)
+			s.cacheMu.Unlock()
+			return c2
+		}
+		nc := &cachedSnap{snap: s.src.AcquireSnapshot(), acquired: time.Now()}
+		nc.refs.Store(2) // the cache slot plus this request
+		old := s.cache.Swap(nc)
+		s.cacheMu.Unlock()
+		if old != nil {
+			s.releaseRef(old) // the cache slot's reference
+		}
+		s.noteAcquire(nc)
+		return nc
+	}
+}
+
+// releaseRef drops one reference; the last drop releases the source
+// snapshot.
+func (s *Server) releaseRef(c *cachedSnap) {
+	if c.refs.Add(-1) == 0 {
+		c.snap.Release()
+	}
+}
+
+func (s *Server) noteAcquire(c *cachedSnap) {
+	s.acquires.Add(1)
+	v := c.snap.Version()
+	if s.lastVersion.Swap(v) != v {
+		s.refreshes.Add(1)
+	}
+}
+
+// envelope is the uniform response shape: the endpoint payload plus the
+// snapshot provenance promised by the consistency contract.
+type envelope struct {
+	Result   any      `json:"result"`
+	Snapshot snapInfo `json:"snapshot"`
+}
+
+type snapInfo struct {
+	Version   uint64 `json:"version"`
+	AgeMicros int64  `json:"age_us"`
+}
+
+type probResult struct {
+	P float64 `json:"p"`
+}
+
+type classifyResult struct {
+	Value int `json:"value"`
+}
+
+// readBody enforces the POST method and the body cap: an over-declared
+// Content-Length is rejected before any read, and a MaxBytesReader
+// backstops bodies with no declared length.
+func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
+	if r.Method != http.MethodPost {
+		return nil, http.StatusMethodNotAllowed, fmt.Errorf("serve: %s wants POST", r.URL.Path)
+	}
+	if r.ContentLength > s.maxBody {
+		return nil, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("serve: body of %d bytes over the %d-byte limit", r.ContentLength, s.maxBody)
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			return nil, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("serve: body over the %d-byte limit", s.maxBody)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("serve: reading body: %w", err)
+	}
+	return body, 0, nil
+}
+
+// handle wraps one POST query endpoint with the shared mechanics: request
+// accounting, the body cap, the per-request snapshot acquire/release, the
+// response envelope and latency recording. fn computes the payload from
+// one immutable snapshot.
+func (s *Server) handle(ctr *atomic.Int64, fn func(body []byte, snap Snapshot) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		started := time.Now()
+		s.requests.Add(1)
+		s.qps.record(started.Unix())
+		ctr.Add(1)
+		body, code, err := s.readBody(w, r)
+		if err != nil {
+			s.fail(w, code, err)
+			return
+		}
+		c := s.acquireRef()
+		result, err := fn(body, c.snap)
+		info := snapInfo{
+			Version:   c.snap.Version(),
+			AgeMicros: time.Since(c.snap.BuiltAt()).Microseconds(),
+		}
+		s.releaseRef(c)
+		if err != nil {
+			s.fail(w, http.StatusBadRequest, err)
+			return
+		}
+		s.writeJSON(w, envelope{Result: result, Snapshot: info})
+		s.lat.observe(time.Since(started))
+	}
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, err error) {
+	s.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// queryProb answers P[x] for a full assignment: the product of the
+// snapshot factors in ascending variable order — the same order and the
+// same float64 values Tracker.QueryProb multiplies, so answers from a
+// tracker source are bit-identical to in-process queries against the same
+// snapshot.
+func (s *Server) queryProb(body []byte, snap Snapshot) (any, error) {
+	x, err := decodeFullAssignment(s.net, s.names, body)
+	if err != nil {
+		return nil, err
+	}
+	p := 1.0
+	for i := 0; i < s.net.Len(); i++ {
+		p *= snap.Factor(i, x[i], s.net.ParentIndex(i, x))
+	}
+	return probResult{P: p}, nil
+}
+
+// subsetProb answers the marginal of an ancestrally closed subset, which
+// factorizes exactly over the member CPDs (Tracker.QuerySubsetProb).
+func (s *Server) subsetProb(body []byte, snap Snapshot) (any, error) {
+	set, x, err := decodeSubsetAssignment(s.net, s.names, body)
+	if err != nil {
+		return nil, err
+	}
+	p := 1.0
+	for _, i := range set {
+		p *= snap.Factor(i, x[i], s.net.ParentIndex(i, x))
+	}
+	return probResult{P: p}, nil
+}
+
+// classify is the fully observed Markov-blanket argmax
+// (Tracker.Classify): only the target's own factor and its children's
+// factors vary with y, all read from one snapshot. Ties break toward the
+// smaller value, like the tracker.
+func (s *Server) classify(body []byte, snap Snapshot) (any, error) {
+	target, x, err := decodeClassify(s.net, s.names, body)
+	if err != nil {
+		return nil, err
+	}
+	best, bestScore := 0, math.Inf(-1)
+	for y := 0; y < s.net.Card(target); y++ {
+		x[target] = y
+		score := logOrNegInf(snap.Factor(target, y, s.net.ParentIndex(target, x)))
+		for _, c := range s.net.Children(target) {
+			score += logOrNegInf(snap.Factor(c, x[c], s.net.ParentIndex(c, x)))
+		}
+		if score > bestScore {
+			best, bestScore = y, score
+		}
+	}
+	return classifyResult{Value: best}, nil
+}
+
+func logOrNegInf(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(p)
+}
+
+// classifyPartial predicts the target from partial evidence by exact
+// inference on the snapshot's normalized model (Tracker.ClassifyPartial).
+func (s *Server) classifyPartial(body []byte, snap Snapshot) (any, error) {
+	target, ev, err := decodeClassifyPartial(s.net, s.names, body)
+	if err != nil {
+		return nil, err
+	}
+	m, err := snap.Model()
+	if err != nil {
+		return nil, err
+	}
+	best, bestP := 0, -1.0
+	for y := 0; y < s.net.Card(target); y++ {
+		p, err := m.ConditionalProb(map[int]int{target: y}, ev)
+		if err != nil {
+			return nil, err
+		}
+		if p > bestP {
+			best, bestP = y, p
+		}
+	}
+	return classifyResult{Value: best}, nil
+}
+
+// marginal answers an arbitrary marginal P[assign] by exact inference on
+// the snapshot's normalized model (Tracker.InferMarginal).
+func (s *Server) marginal(body []byte, snap Snapshot) (any, error) {
+	assign, err := decodeMarginal(s.net, s.names, body)
+	if err != nil {
+		return nil, err
+	}
+	m, err := snap.Model()
+	if err != nil {
+		return nil, err
+	}
+	p, err := m.MarginalProb(assign)
+	if err != nil {
+		return nil, err
+	}
+	return probResult{P: p}, nil
+}
+
+// modelVar is one variable of the /v1/model dump.
+type modelVar struct {
+	Name    string    `json:"name"`
+	Card    int       `json:"card"`
+	Parents []int     `json:"parents,omitempty"`
+	CPT     []float64 `json:"cpt"`
+}
+
+// handleModel dumps the snapshot's normalized model (EstimatedModel over
+// the wire): every variable's name, cardinality, parents and CPT in
+// pidx-major order. The model is immutable, so encoding it after the
+// snapshot reference is released is safe.
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	started := time.Now()
+	s.requests.Add(1)
+	s.qps.record(started.Unix())
+	s.byEndpoint["model"].Add(1)
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: /v1/model wants GET"))
+		return
+	}
+	c := s.acquireRef()
+	m, err := c.snap.Model()
+	info := snapInfo{
+		Version:   c.snap.Version(),
+		AgeMicros: time.Since(c.snap.BuiltAt()).Microseconds(),
+	}
+	s.releaseRef(c)
+	if err != nil {
+		s.fail(w, http.StatusInternalServerError, err)
+		return
+	}
+	vars := make([]modelVar, s.net.Len())
+	for i := range vars {
+		cpd := m.CPD(i)
+		tbl := make([]float64, 0, cpd.Card()*cpd.ParentCard())
+		for pidx := 0; pidx < cpd.ParentCard(); pidx++ {
+			tbl = append(tbl, cpd.Row(pidx)...)
+		}
+		vars[i] = modelVar{
+			Name:    s.net.Var(i).Name,
+			Card:    s.net.Card(i),
+			Parents: s.net.Parents(i),
+			CPT:     tbl,
+		}
+	}
+	s.writeJSON(w, envelope{Result: map[string]any{"vars": vars}, Snapshot: info})
+	s.lat.observe(time.Since(started))
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, s.Stats())
+}
+
+// Stats assembles the /statsz payload; safe to call concurrently with
+// serving.
+func (s *Server) Stats() Stats {
+	now := time.Now()
+	st := Stats{
+		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Requests:      s.requests.Load(),
+		Errors:        s.errors.Load(),
+		QPS:           s.qps.rate(now.Unix()),
+		ByEndpoint:    make(map[string]int64, len(s.byEndpoint)),
+		Snapshot: SnapshotStats{
+			Acquires:  s.acquires.Load(),
+			Refreshes: s.refreshes.Load(),
+		},
+		Latency: LatencyStats{
+			Count:             s.lat.count.Load(),
+			P50Micros:         s.lat.quantile(0.50),
+			P90Micros:         s.lat.quantile(0.90),
+			P99Micros:         s.lat.quantile(0.99),
+			BucketsPow2Micros: s.lat.snapshot(),
+		},
+	}
+	for name, ctr := range s.byEndpoint {
+		st.ByEndpoint[name] = ctr.Load()
+	}
+	if c := s.cache.Load(); c != nil {
+		// Version/BuiltAt read immutable snapshot fields, safe even if the
+		// cache slot is concurrently swapped and released.
+		st.Snapshot.Version = c.snap.Version()
+		st.Snapshot.AgeMicros = now.Sub(c.snap.BuiltAt()).Microseconds()
+	}
+	return st
+}

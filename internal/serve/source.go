@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"time"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/cluster"
+	"distbayes/internal/core"
+)
+
+// Snapshot is one immutable view of the tracked model. Every Factor read
+// against one Snapshot value observes a single consistent materialization
+// of the counter state; Version identifies that state (monotone
+// non-decreasing across acquisitions from one source) and BuiltAt is when
+// it was materialized. Model lazily normalizes the factors into a
+// bn.Model, cached per snapshot; the returned model is immutable and
+// remains valid after Release. Release returns the snapshot's reference to
+// its source and must be called exactly once, after the last read.
+type Snapshot interface {
+	// Factor is the tracked estimate of P[X_i = v | parent config pidx].
+	Factor(i, v, pidx int) float64
+	Version() uint64
+	BuiltAt() time.Time
+	Model() (*bn.Model, error)
+	Release()
+}
+
+// ModelSource is the serving back end: an in-process tracker
+// (NewTrackerSource) or a live cluster coordinator (NewCoordinatorSource),
+// behind one interface so the server neither knows nor cares whether the
+// model is trained in-process or across a TCP cluster.
+type ModelSource interface {
+	Network() *bn.Network
+	// AcquireSnapshot returns the current model snapshot with a read
+	// reference held. It may rebuild (bulk-reading the dirty part of the
+	// counter state) or return the cached snapshot when nothing changed.
+	AcquireSnapshot() Snapshot
+}
+
+type trackerSource struct{ t *core.Tracker }
+
+// NewTrackerSource serves queries from an in-process tracker. Snapshots
+// are the tracker's refcounted model snapshots: ingestion never blocks on
+// a slow reader — an ingest burst simply retires the served snapshot,
+// whose rows are recycled when its last reader releases it.
+func NewTrackerSource(t *core.Tracker) ModelSource { return trackerSource{t} }
+
+func (s trackerSource) Network() *bn.Network      { return s.t.Network() }
+func (s trackerSource) AcquireSnapshot() Snapshot { return s.t.AcquireSnapshot() }
+
+type coordinatorSource struct{ co *cluster.Coordinator }
+
+// NewCoordinatorSource serves queries from a live cluster coordinator —
+// the distributed mirror of NewTrackerSource, valid at any time during a
+// run (the paper's query-at-any-time model) and after it completes.
+func NewCoordinatorSource(co *cluster.Coordinator) ModelSource { return coordinatorSource{co} }
+
+func (s coordinatorSource) Network() *bn.Network      { return s.co.Network() }
+func (s coordinatorSource) AcquireSnapshot() Snapshot { return s.co.AcquireSnapshot() }

@@ -4,9 +4,9 @@
 #
 # The gate is intentionally narrow: it fails only when a throughput
 # benchmark (BenchmarkParallelIngest, BenchmarkDeltaIngest,
-# BenchmarkClusterThroughput — anything reporting events/sec) loses more
-# than BENCH_REGRESSION_PCT
-# (default 30) percent of its baseline events/sec, and only when the runner
+# BenchmarkClusterThroughput, BenchmarkServeQueries — anything reporting
+# events/sec or queries/sec) loses more than BENCH_REGRESSION_PCT
+# (default 30) percent of its baseline rate, and only when the runner
 # reports the same `cpu:` line as the machine that recorded the baseline —
 # absolute throughput is not comparable across hardware, so on a different
 # CPU the comparison is printed as an advisory and the gate passes. ns/op
@@ -28,7 +28,7 @@ cd "$(dirname "$0")/.."
 BASELINE=${BENCH_BASELINE:-BENCH_BASELINE.txt}
 THRESHOLD=${BENCH_REGRESSION_PCT:-30}
 BENCH_TIME=${BENCH_TIME:-1s}
-PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput'
+PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput|BenchmarkServeQueries'
 
 run_benchmarks() {
   go test -count=1 -run '^$' -bench "$PATTERN" -benchtime "$BENCH_TIME" .
@@ -68,7 +68,7 @@ if [[ "${BENCH_GATE:-}" != "force" && "$base_cpu" != "$cur_cpu" ]]; then
 fi
 
 echo
-echo "=== events/sec gate (threshold: -${THRESHOLD}%) ==="
+echo "=== throughput gate: events/sec + queries/sec (threshold: -${THRESHOLD}%) ==="
 awk -v thr="$THRESHOLD" -v gate="$gate" '
   function key() {
     k = $1
@@ -76,11 +76,12 @@ awk -v thr="$THRESHOLD" -v gate="$gate" '
     return k
   }
   function rate() {
-    for (i = 2; i <= NF; i++) if ($i == "events/sec") return $(i - 1)
+    for (i = 2; i <= NF; i++)
+      if ($i == "events/sec" || $i == "queries/sec") return $(i - 1)
     return ""
   }
   FNR == 1 { file++ }
-  /events\/sec/ {
+  /events\/sec|queries\/sec/ {
     r = rate()
     if (r == "") next
     if (file == 1) base[key()] = r
