@@ -71,7 +71,10 @@ func main() {
 		ckptN    = flag.Int64("checkpoint-every", 10000, "checkpoint cadence in received frames (with -checkpoint)")
 		resume   = flag.Bool("resume", false, "restore the coordinator from -checkpoint before serving (role=coord)")
 		serveOn  = flag.String("serve", "", "attach an HTTP query server on this address (coord and local roles; use :0 for an ephemeral port)")
+		serveCC  = flag.Int("serve-concurrency", serve.DefaultMaxConcurrent, "query-server admission limit (negative = unlimited)")
+		serveDeg = flag.Duration("serve-degraded-age", serve.DefaultMaxDegradedAge, "query-server degraded-mode staleness ceiling (negative = disable degraded serving)")
 		probe    = flag.String("probe", "", "after the run, print P[name=value,...] via the query server's /v1/marginal (requires -serve)")
+		probeTO  = flag.Duration("probe-timeout", 10*time.Second, "deadline for the -probe query; a wedged server fails the probe instead of hanging it")
 	)
 	flag.Parse()
 
@@ -117,7 +120,7 @@ func main() {
 			fmt.Printf("restored checkpoint %s\n", *ckpt)
 		}
 		fmt.Printf("coordinator listening on %s, waiting for %d sites\n", co.Addr(), cfg.Sites)
-		srv := attachServer(co, *serveOn)
+		srv := attachServer(co, *serveOn, *serveCC, *serveDeg)
 		// The query mix runs against the coordinator while Serve ingests:
 		// the standalone-role mirror of RunLocal's LiveQueryMicros driver.
 		stop := make(chan struct{})
@@ -137,7 +140,7 @@ func main() {
 			fatal(err)
 		}
 		report(res)
-		finishServer(srv, *probe)
+		finishServer(srv, *probe, *probeTO)
 	case "site":
 		st, err := cluster.NewSite(uint32(*id), *addr).Run()
 		if err != nil {
@@ -154,7 +157,7 @@ func main() {
 		// The coordinator stays queryable after the run, so the local role
 		// attaches the server post-run: scripts get the final estimates
 		// over HTTP (the coord role serves live during the run instead).
-		finishServer(attachServer(co, *serveOn), *probe)
+		finishServer(attachServer(co, *serveOn, *serveCC, *serveDeg), *probe, *probeTO)
 	default:
 		fatal(fmt.Errorf("unknown role %q", *role))
 	}
@@ -163,11 +166,15 @@ func main() {
 // attachServer starts the HTTP query front end over the coordinator when
 // -serve is given (internal/serve; the coord role serves live while frames
 // stream in — the paper's query-at-any-time model).
-func attachServer(co *cluster.Coordinator, addr string) *serve.Server {
+func attachServer(co *cluster.Coordinator, addr string, maxConcurrent int, degradedAge time.Duration) *serve.Server {
 	if addr == "" {
 		return nil
 	}
-	srv, err := serve.New(serve.Config{Source: serve.NewCoordinatorSource(co)})
+	srv, err := serve.New(serve.Config{
+		Source:         serve.NewCoordinatorSource(co),
+		MaxConcurrent:  maxConcurrent,
+		MaxDegradedAge: degradedAge,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -180,7 +187,7 @@ func attachServer(co *cluster.Coordinator, addr string) *serve.Server {
 
 // finishServer answers -probe over the server's own HTTP endpoint, then
 // drains and stops the server.
-func finishServer(srv *serve.Server, probe string) {
+func finishServer(srv *serve.Server, probe string, probeTimeout time.Duration) {
 	if srv == nil {
 		if probe != "" {
 			fatal(fmt.Errorf("-probe requires -serve"))
@@ -188,7 +195,7 @@ func finishServer(srv *serve.Server, probe string) {
 		return
 	}
 	if probe != "" {
-		p, err := probeMarginal(srv.Addr(), probe)
+		p, err := probeMarginal(srv.Addr(), probe, probeTimeout)
 		if err != nil {
 			fatal(err)
 		}
@@ -202,8 +209,10 @@ func finishServer(srv *serve.Server, probe string) {
 }
 
 // probeMarginal parses "name=value,..." and asks /v1/marginal — the full
-// HTTP path, not a shortcut through the coordinator.
-func probeMarginal(addr, probe string) (float64, error) {
+// HTTP path, not a shortcut through the coordinator. The timeout bounds
+// the whole probe so a wedged server turns into a nonzero exit, not a
+// hung smoke script.
+func probeMarginal(addr, probe string, timeout time.Duration) (float64, error) {
 	assign := map[string]int{}
 	for _, part := range strings.Split(probe, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
@@ -220,7 +229,8 @@ func probeMarginal(addr, probe string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := http.Post("http://"+addr+"/v1/marginal", "application/json", bytes.NewReader(body))
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post("http://"+addr+"/v1/marginal", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}

@@ -50,7 +50,13 @@ func main() {
 		events   = flag.Int("events", 100000, "training events to ingest (0 = stream until interrupted)")
 		seed     = flag.Uint64("seed", 1, "stream seed")
 		maxAge   = flag.Duration("max-age", serve.DefaultMaxSnapshotAge, "snapshot staleness bound (negative = per-request acquire)")
+		degAge   = flag.Duration("max-degraded-age", serve.DefaultMaxDegradedAge, "degraded-mode staleness ceiling (negative = disable degraded serving)")
+		maxConc  = flag.Int("max-concurrent", serve.DefaultMaxConcurrent, "admission limit: concurrent requests in the query handlers (negative = unlimited)")
+		maxQueue = flag.Int("max-queue", 0, "admission wait-queue depth (0 = 2x max-concurrent, negative = none)")
+		reqTO    = flag.Duration("request-timeout", serve.DefaultRequestTimeout, "per-request deadline (negative = none)")
+		writeTO  = flag.Duration("write-timeout", serve.DefaultWriteTimeout, "HTTP write timeout (negative = none)")
 		probe    = flag.String("probe", "", "after ingest, print P[name=value,...] via /v1/marginal and exit")
+		probeTO  = flag.Duration("probe-timeout", 10*time.Second, "deadline for the -probe query; a wedged server fails the probe instead of hanging it")
 	)
 	flag.Parse()
 
@@ -69,7 +75,15 @@ func main() {
 		fatal(err)
 	}
 
-	srv, err := serve.New(serve.Config{Source: serve.NewTrackerSource(tr), MaxSnapshotAge: *maxAge})
+	srv, err := serve.New(serve.Config{
+		Source:         serve.NewTrackerSource(tr),
+		MaxSnapshotAge: *maxAge,
+		MaxDegradedAge: *degAge,
+		MaxConcurrent:  *maxConc,
+		MaxQueue:       *maxQueue,
+		RequestTimeout: *reqTO,
+		WriteTimeout:   *writeTO,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -99,7 +113,7 @@ func main() {
 	}
 
 	if *probe != "" {
-		p, err := probeMarginal(srv.Addr(), *probe)
+		p, err := probeMarginal(srv.Addr(), *probe, *probeTO)
 		if err != nil {
 			fatal(err)
 		}
@@ -131,8 +145,9 @@ func shutdown(srv *serve.Server) {
 
 // probeMarginal parses "name=value,..." and asks the server's own
 // /v1/marginal endpoint — exercising the full HTTP path, not a shortcut
-// through the tracker.
-func probeMarginal(addr, probe string) (float64, error) {
+// through the tracker. The timeout bounds the whole probe so a wedged
+// server turns into a nonzero exit, not a hung smoke script.
+func probeMarginal(addr, probe string, timeout time.Duration) (float64, error) {
 	assign := map[string]int{}
 	for _, part := range strings.Split(probe, ",") {
 		kv := strings.SplitN(strings.TrimSpace(part), "=", 2)
@@ -149,7 +164,8 @@ func probeMarginal(addr, probe string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	resp, err := http.Post("http://"+addr+"/v1/marginal", "application/json", bytes.NewReader(body))
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Post("http://"+addr+"/v1/marginal", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return 0, err
 	}

@@ -106,6 +106,20 @@
 // cmd/bnserve for the standalone binary and examples/serving for an
 // end-to-end cluster + server + client-mix program.
 //
+// The serving plane degrades instead of failing: a concurrency-limited
+// admission gate sheds over-capacity requests with fast 429s so admitted
+// latency stays bounded (BenchmarkServeOverload), per-request deadlines
+// cancel waits with clean 503s, and when a snapshot refresh fails — the
+// coordinator crashed, the source is gone — the server keeps answering
+// from the last-good refcounted snapshot, tagging responses degraded with
+// their version and age up to a staleness ceiling. SwappableSource swaps
+// a replacement coordinator (restored from its checkpoint) under a
+// running server with a monotone snapshot-version clock across the
+// failover. The full contract under chaos — every response a correct
+// version-monotone answer or a clean 429/503, never a hang, torn read or
+// 500 — is pinned by TestServeChaosCoordinatorKillRestart in
+// internal/serve.
+//
 // # Distributed deployment
 //
 // internal/cluster runs the same architecture over real TCP: k site
@@ -224,12 +238,19 @@ type (
 	// requests), observe via /statsz.
 	QueryServer = serve.Server
 	// QueryServerConfig parameterizes a QueryServer: the ModelSource, the
-	// request-body cap and the snapshot staleness bound.
+	// request-body cap, the snapshot staleness bound, the admission limits
+	// (MaxConcurrent/MaxQueue/RequestTimeout) and the degraded-mode
+	// staleness ceiling (MaxDegradedAge).
 	QueryServerConfig = serve.Config
 	// ModelSource is what a QueryServer serves from — an in-process
 	// Tracker (NewTrackerSource) or a live cluster coordinator
 	// (serve.NewCoordinatorSource).
 	ModelSource = serve.ModelSource
+	// SwappableSource is a ModelSource whose back end can be replaced
+	// under a running QueryServer (NewSwappableSource, Swap) — the
+	// coordinator-failover primitive. Snapshot versions stay monotone
+	// across a swap.
+	SwappableSource = serve.SwappableSource
 )
 
 // NewQueryServer builds the HTTP query service; pair with
@@ -239,6 +260,12 @@ func NewQueryServer(cfg QueryServerConfig) (*QueryServer, error) { return serve.
 // NewTrackerSource adapts a Tracker into the ModelSource a QueryServer
 // serves from.
 func NewTrackerSource(tr *Tracker) ModelSource { return serve.NewTrackerSource(tr) }
+
+// NewSwappableSource wraps an initial ModelSource so the back end can
+// later be replaced with Swap without restarting the QueryServer.
+func NewSwappableSource(initial ModelSource) (*SwappableSource, error) {
+	return serve.NewSwappableSource(initial)
+}
 
 // Workload types.
 type (

@@ -51,7 +51,16 @@ func main() {
 		log.Fatal(err)
 	}
 	base := "http://" + srv.Addr()
-	fmt.Printf("query server attached to the live coordinator\n\n")
+	fmt.Printf("query server attached to the live coordinator\n")
+
+	// The health endpoint is never gated by admission control: ok means
+	// fresh snapshots flow; a dead coordinator would read "degraded" here
+	// while the server bridges from its last-good snapshot.
+	state, err := health(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("health: %s\n\n", state)
 
 	nw := co.Network()
 	zeros := make([]string, nw.Len())
@@ -101,6 +110,21 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("server drained and stopped")
+}
+
+// health reads GET /healthz: "ok", "degraded", "unavailable" or
+// "draining".
+func health(base string) (string, error) {
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	rb, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(string(rb)), nil
 }
 
 // post sends one query body and returns the numeric result ("p" for the

@@ -13,6 +13,7 @@ import (
 // rate line is timing-dependent and only checked for presence.
 var servingWantLines = []string{
 	"trained 20000 events across 4 sites on a loopback TCP cluster",
+	"health: ok",
 	"  joint, all zeros  /v1/queryprob  = 1.40805e-28",
 	"  subset            /v1/subsetprob = 0.0284496",
 	"  classify alarm_3  /v1/classify   = 3",

@@ -394,6 +394,17 @@ func (co *Coordinator) finished() (bool, error) {
 	}
 }
 
+// Err reports whether the coordinator can still answer queries: nil while
+// the run is live and after it completed cleanly, the terminal error after
+// Close or a fatal protocol failure. Serving layers poll it to tell a
+// finished-but-queryable coordinator from a dead one.
+func (co *Coordinator) Err() error {
+	if over, err := co.finished(); over {
+		return err
+	}
+	return nil
+}
+
 // Serve runs the training protocol to completion: it supervises site
 // connections (accepting joins, resumes and rejoins at any time), folds
 // their reports into the striped matrix, and once every site's Done marker

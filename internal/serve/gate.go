@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+)
+
+// errShed is returned by gate.enter when both the concurrency limit and
+// the wait queue are full: the request is shed (HTTP 429) instead of
+// piling onto the snapshot refresh path and collapsing latency for the
+// admitted requests.
+var errShed = errors.New("serve: over capacity, request shed")
+
+// gate is the admission controller: a concurrency semaphore with a small
+// bounded wait queue in front of it. Requests beyond MaxConcurrent wait
+// in the queue (bounded, deadline-aware); requests beyond the queue are
+// shed immediately. A nil *gate admits everything.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int32
+	queued   atomic.Int32
+}
+
+func newGate(maxConcurrent, maxQueue int) *gate {
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	if maxQueue > math.MaxInt32 {
+		maxQueue = math.MaxInt32
+	}
+	return &gate{sem: make(chan struct{}, maxConcurrent), maxQueue: int32(maxQueue)}
+}
+
+// enter admits the request (nil), sheds it (errShed), or abandons the
+// wait when ctx expires while queued (ctx.Err()). Pair every nil return
+// with leave.
+func (g *gate) enter(ctx context.Context) error {
+	if g == nil {
+		return nil
+	}
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return errShed
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) leave() {
+	if g != nil {
+		<-g.sem
+	}
+}
+
+// inFlight and waiting are point-in-time reads for /statsz.
+func (g *gate) inFlight() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.sem)
+}
+
+func (g *gate) waiting() int {
+	if g == nil {
+		return 0
+	}
+	return int(g.queued.Load())
+}

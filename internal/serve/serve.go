@@ -8,8 +8,9 @@
 //
 // Endpoints (POST unless noted): /v1/queryprob, /v1/subsetprob,
 // /v1/classify, /v1/classifypartial, /v1/marginal, GET /v1/model, plus
-// GET /statsz (qps, snapshot version/age, acquire/rebuild counts, latency
-// histogram) and GET /healthz. See decode.go for the request shapes.
+// GET /statsz (qps, snapshot version/age, admission/degraded counters,
+// latency histogram) and GET /healthz. See decode.go for the request
+// shapes.
 //
 // # Snapshot-consistency contract
 //
@@ -32,6 +33,37 @@
 // every request (strict freshness, same answers a direct Tracker query
 // would give at that instant).
 //
+// # Degraded mode
+//
+// The server degrades instead of failing. When a snapshot refresh fails
+// (the coordinator behind the source was closed or crashed), queries keep
+// answering from the last-good snapshot, tagged "degraded": true with its
+// version and age, until the snapshot is older than Config.MaxDegradedAge
+// — the hard staleness ceiling, past which queries return 503 with a
+// Retry-After header rather than silently serve arbitrarily stale
+// estimates. Every refresh attempt re-probes the source, so the moment a
+// replacement back end appears (see SwappableSource) fresh serving
+// resumes with no restart; versions stay monotone across the whole
+// failover. GET /healthz reports the state machine — "ok", "degraded"
+// (failing source, last-good within the ceiling, still 200), "draining"
+// (Shutdown in progress, 503) or "unavailable" (no servable snapshot,
+// 503) — and /statsz counts refresh errors, degraded responses and
+// unavailable rejections.
+//
+// # Admission control
+//
+// A concurrency-limited admission gate fronts the query endpoints:
+// Config.MaxConcurrent requests run at once, Config.MaxQueue more wait in
+// a bounded queue, and everything beyond that is shed immediately with
+// 429 + Retry-After — under overload the server sheds the excess to keep
+// latency bounded for what it admits instead of collapsing for everyone
+// (BenchmarkServeOverload measures exactly this). Each request carries a
+// Config.RequestTimeout context deadline that is honored while queued at
+// the gate and while waiting on a snapshot refresh; deadline expiry
+// yields 503. /statsz and /healthz bypass the gate so the server stays
+// observable under overload, and a panic-recovery middleware turns a
+// panicking handler into a 500 without taking the process down.
+//
 // # Hardening
 //
 // Request bodies are bounded by Config.MaxBodyBytes with the declared
@@ -41,7 +73,9 @@
 // fuzzed: FuzzServeRequest). Every decoded name and value is validated
 // against the network, subset queries must be ancestrally closed, and
 // Shutdown drains in-flight requests before releasing the cached
-// snapshot.
+// snapshot. The HTTP server's read-header/read/write/idle timeouts are
+// all configurable so a stalled client cannot hold a connection (or a
+// drain) open indefinitely.
 //
 // See examples/serving for an end-to-end run: a TCP cluster training
 // while an attached server answers a closed-loop client mix.
@@ -56,7 +90,7 @@ import (
 	"math"
 	"net"
 	"net/http"
-	"sync"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -65,14 +99,29 @@ import (
 
 // Defaults for Config zero values.
 const (
-	DefaultMaxBodyBytes   = 1 << 20
-	DefaultMaxSnapshotAge = 5 * time.Millisecond
+	DefaultMaxBodyBytes      = 1 << 20
+	DefaultMaxSnapshotAge    = 5 * time.Millisecond
+	DefaultMaxDegradedAge    = 2 * time.Minute
+	DefaultMaxConcurrent     = 64
+	DefaultRequestTimeout    = 10 * time.Second
+	DefaultReadHeaderTimeout = 10 * time.Second
+	DefaultWriteTimeout      = 30 * time.Second
+	DefaultIdleTimeout       = 2 * time.Minute
 )
 
-// Config parameterizes a Server.
+// Health states reported by GET /healthz and Stats.Health.
+const (
+	HealthOK          = "ok"          // fresh serving (200)
+	HealthDegraded    = "degraded"    // source failing, last-good within MaxDegradedAge (200)
+	HealthDraining    = "draining"    // Shutdown in progress (503)
+	HealthUnavailable = "unavailable" // no servable snapshot (503)
+)
+
+// Config parameterizes a Server. Duration and count fields follow one
+// convention: zero means the package default, negative means disabled.
 type Config struct {
-	// Source is the model back end (required): NewTrackerSource or
-	// NewCoordinatorSource.
+	// Source is the model back end (required): NewTrackerSource,
+	// NewCoordinatorSource, or a SwappableSource wrapping either.
 	Source ModelSource
 	// MaxBodyBytes caps request bodies (0 = DefaultMaxBodyBytes).
 	MaxBodyBytes int64
@@ -80,6 +129,44 @@ type Config struct {
 	// across requests (0 = DefaultMaxSnapshotAge, negative = re-acquire
 	// per request). See the package comment.
 	MaxSnapshotAge time.Duration
+	// MaxDegradedAge is the hard staleness ceiling for degraded-mode
+	// serving: when refreshes fail, the last-good snapshot keeps
+	// answering (tagged degraded) until it is older than this, after
+	// which queries get 503 + Retry-After (0 = DefaultMaxDegradedAge,
+	// negative = degraded serving disabled: any refresh failure is an
+	// immediate 503).
+	MaxDegradedAge time.Duration
+	// MaxConcurrent bounds requests inside the query handlers at once
+	// (0 = DefaultMaxConcurrent, negative = unlimited, no gate).
+	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an admission slot; beyond it
+	// requests are shed with 429 (0 = 2×MaxConcurrent, negative = no
+	// queue: shed as soon as MaxConcurrent is reached).
+	MaxQueue int
+	// RequestTimeout is the per-request deadline, honored while queued
+	// at the admission gate and while waiting on a snapshot refresh
+	// (0 = DefaultRequestTimeout, negative = none).
+	RequestTimeout time.Duration
+	// ReadHeaderTimeout, ReadTimeout, WriteTimeout and IdleTimeout
+	// configure the underlying http.Server (Start only). Defaults:
+	// DefaultReadHeaderTimeout, no read timeout, DefaultWriteTimeout,
+	// DefaultIdleTimeout; negative disables one.
+	ReadHeaderTimeout time.Duration
+	ReadTimeout       time.Duration
+	WriteTimeout      time.Duration
+	IdleTimeout       time.Duration
+}
+
+// timeoutOr resolves the config convention: zero → def, negative →
+// disabled (0, the http.Server "no timeout" value).
+func timeoutOr(v, def time.Duration) time.Duration {
+	if v == 0 {
+		return def
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // cachedSnap is one server-held snapshot acquisition shared by concurrent
@@ -95,31 +182,56 @@ type cachedSnap struct {
 // Server is the HTTP query front end. Create with New, start with Start
 // (or mount Handler yourself), stop with Shutdown.
 type Server struct {
-	src     ModelSource
-	net     *bn.Network
-	names   map[string]int
-	maxBody int64
-	maxAge  time.Duration
+	src         ModelSource
+	net         *bn.Network
+	names       map[string]int
+	maxBody     int64
+	maxAge      time.Duration
+	maxDegraded time.Duration // negative = degraded serving disabled
+	reqTimeout  time.Duration // 0 = none
 
-	mux *http.ServeMux
-	hs  *http.Server
-	ln  net.Listener
+	readHeaderTimeout time.Duration
+	readTimeout       time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
 
-	// cache is the shared snapshot acquisition; cacheMu serializes
-	// re-acquisition so a stale cache triggers one source rebuild, not one
-	// per waiting request.
-	cacheMu sync.Mutex
-	cache   atomic.Pointer[cachedSnap]
+	mux     *http.ServeMux
+	handler http.Handler // mux wrapped in panic recovery
+	hs      *http.Server
+	ln      net.Listener
+	gate    *gate // nil = unlimited
 
-	start       time.Time
-	requests    atomic.Int64
-	errors      atomic.Int64
-	acquires    atomic.Int64
-	refreshes   atomic.Int64
-	lastVersion atomic.Uint64
-	byEndpoint  map[string]*atomic.Int64
-	lat         histogram
-	qps         qpsWindow
+	// cache is the shared snapshot acquisition. refreshMu is a 1-slot
+	// channel serializing re-acquisition — a stale cache triggers one
+	// source rebuild, not one per waiting request — chosen over a mutex
+	// so waiters can abandon the wait when their request deadline
+	// expires.
+	refreshMu chan struct{}
+	cache     atomic.Pointer[cachedSnap]
+
+	// degraded flips when a refresh fails and clears on the next success;
+	// while set, the fast path is bypassed so every request re-probes the
+	// source through the refresh slot.
+	degraded       atomic.Bool
+	degradedSince  atomic.Int64 // unix nanos, valid while degraded
+	lastRefreshErr atomic.Pointer[string]
+	draining       atomic.Bool
+
+	start            time.Time
+	requests         atomic.Int64
+	errors           atomic.Int64
+	panics           atomic.Int64
+	shed             atomic.Int64
+	deadlineExceeded atomic.Int64
+	degradedServed   atomic.Int64
+	unavailable      atomic.Int64
+	refreshErrs      atomic.Int64
+	acquires         atomic.Int64
+	refreshes        atomic.Int64
+	lastVersion      atomic.Uint64
+	byEndpoint       map[string]*atomic.Int64
+	lat              histogram
+	qps              qpsWindow
 }
 
 // New builds a server over cfg.Source.
@@ -128,17 +240,38 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("serve: Config.Source is required")
 	}
 	s := &Server{
-		src:     cfg.Source,
-		net:     cfg.Source.Network(),
-		maxBody: cfg.MaxBodyBytes,
-		maxAge:  cfg.MaxSnapshotAge,
-		start:   time.Now(),
+		src:               cfg.Source,
+		net:               cfg.Source.Network(),
+		maxBody:           cfg.MaxBodyBytes,
+		maxAge:            cfg.MaxSnapshotAge,
+		maxDegraded:       cfg.MaxDegradedAge,
+		reqTimeout:        timeoutOr(cfg.RequestTimeout, DefaultRequestTimeout),
+		readHeaderTimeout: timeoutOr(cfg.ReadHeaderTimeout, DefaultReadHeaderTimeout),
+		readTimeout:       timeoutOr(cfg.ReadTimeout, 0),
+		writeTimeout:      timeoutOr(cfg.WriteTimeout, DefaultWriteTimeout),
+		idleTimeout:       timeoutOr(cfg.IdleTimeout, DefaultIdleTimeout),
+		refreshMu:         make(chan struct{}, 1),
+		start:             time.Now(),
 	}
 	if s.maxBody == 0 {
 		s.maxBody = DefaultMaxBodyBytes
 	}
 	if s.maxAge == 0 {
 		s.maxAge = DefaultMaxSnapshotAge
+	}
+	if s.maxDegraded == 0 {
+		s.maxDegraded = DefaultMaxDegradedAge
+	}
+	maxConc := cfg.MaxConcurrent
+	if maxConc == 0 {
+		maxConc = DefaultMaxConcurrent
+	}
+	if maxConc > 0 {
+		maxQueue := cfg.MaxQueue
+		if maxQueue == 0 {
+			maxQueue = 2 * maxConc
+		}
+		s.gate = newGate(maxConc, maxQueue)
 	}
 	s.names = make(map[string]int, s.net.Len())
 	for i := 0; i < s.net.Len(); i++ {
@@ -159,15 +292,15 @@ func New(cfg Config) (*Server, error) {
 	s.byEndpoint["model"] = new(atomic.Int64)
 	s.mux.HandleFunc("/v1/model", s.handleModel)
 	s.mux.HandleFunc("/statsz", s.handleStatsz)
-	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		io.WriteString(w, "ok\n")
-	})
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.handler = s.withRecovery(s.mux)
 	return s, nil
 }
 
-// Handler returns the server's HTTP handler, for tests or embedding in an
-// existing mux; Start is not required when serving through it.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the server's HTTP handler (panic recovery included),
+// for tests or embedding in an existing mux; Start is not required when
+// serving through it.
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Start binds addr and serves in a background goroutine; it returns once
 // the listener is bound, so Addr is valid immediately (use ":0" to let the
@@ -182,9 +315,11 @@ func (s *Server) Start(addr string) error {
 	}
 	s.ln = ln
 	s.hs = &http.Server{
-		Handler:           s.mux,
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
+		Handler:           s.handler,
+		ReadHeaderTimeout: s.readHeaderTimeout,
+		ReadTimeout:       s.readTimeout,
+		WriteTimeout:      s.writeTimeout,
+		IdleTimeout:       s.idleTimeout,
 	}
 	go s.hs.Serve(ln)
 	return nil
@@ -193,62 +328,134 @@ func (s *Server) Start(addr string) error {
 // Addr returns the bound listen address (after Start).
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Shutdown stops accepting connections, drains in-flight requests (every
-// accepted request completes and its response is written), then releases
-// the cached snapshot reference. The context bounds the drain, as in
+// Shutdown flips /healthz to draining, stops accepting connections,
+// drains in-flight requests (every accepted request completes and its
+// response is written), then releases the cached snapshot reference —
+// taken under the refresh slot so the release cannot race an in-flight
+// refresh publishing a new snapshot. The context bounds the drain, as in
 // net/http.Server.Shutdown.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	var err error
 	if s.hs != nil {
 		err = s.hs.Shutdown(ctx)
 	}
-	s.cacheMu.Lock()
-	old := s.cache.Swap(nil)
-	s.cacheMu.Unlock()
-	if old != nil {
-		s.releaseRef(old)
+	select {
+	case s.refreshMu <- struct{}{}:
+		if old := s.cache.Swap(nil); old != nil {
+			s.releaseRef(old)
+		}
+		<-s.refreshMu
+	case <-ctx.Done():
+		// A refresh is still in flight past the drain deadline; skip the
+		// cache release rather than block — the process is exiting.
+		if err == nil {
+			err = ctx.Err()
+		}
 	}
 	return err
 }
 
-// acquireRef returns a referenced snapshot for one request; pair with
-// releaseRef. The fast path shares the cached acquisition while it is
-// younger than maxAge; the slow path re-acquires from the source under
-// cacheMu — one rebuild no matter how many requests found the cache stale.
-func (s *Server) acquireRef() *cachedSnap {
-	if s.maxAge < 0 {
-		c := &cachedSnap{snap: s.src.AcquireSnapshot(), acquired: time.Now()}
-		c.refs.Store(1)
-		s.noteAcquire(c)
-		return c
-	}
-	for {
-		c := s.cache.Load()
-		if c != nil && time.Since(c.acquired) <= s.maxAge {
-			if r := c.refs.Load(); r > 0 && c.refs.CompareAndSwap(r, r+1) {
-				return c
+// withRecovery turns a panicking handler into a 500 and keeps the server
+// alive: one bad request must not take down serving for everyone.
+func (s *Server) withRecovery(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
 			}
-			continue // swapped out or contended; retry
+			if v == http.ErrAbortHandler { // net/http's own abort protocol
+				panic(v)
+			}
+			s.panics.Add(1)
+			s.fail(w, http.StatusInternalServerError,
+				fmt.Errorf("serve: internal error serving %s: %v", r.URL.Path, v))
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// acquireRef returns a referenced snapshot for one request (pair with
+// releaseRef) plus whether it is a degraded last-good snapshot. The fast
+// path shares the cached acquisition while it is younger than maxAge and
+// the server is healthy; the slow path funnels through the 1-slot refresh
+// channel — one source probe no matter how many requests found the cache
+// stale — abandoning the wait if ctx expires first. On refresh failure
+// the last-good cache keeps serving (degraded) until it is older than
+// maxDegraded.
+func (s *Server) acquireRef(ctx context.Context) (*cachedSnap, bool, error) {
+	for {
+		if s.maxAge >= 0 && !s.degraded.Load() {
+			c := s.cache.Load()
+			if c != nil && time.Since(c.acquired) <= s.maxAge {
+				if r := c.refs.Load(); r > 0 && c.refs.CompareAndSwap(r, r+1) {
+					return c, false, nil
+				}
+				continue // swapped out or contended; retry
+			}
 		}
-		s.cacheMu.Lock()
-		if c2 := s.cache.Load(); c2 != nil && c2 != c && time.Since(c2.acquired) <= s.maxAge {
-			// Someone refreshed while we waited for the lock. The cache
-			// slot's reference cannot drop while we hold cacheMu, so the
+		select {
+		case s.refreshMu <- struct{}{}:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		var (
+			c        *cachedSnap
+			degraded bool
+			err      error
+		)
+		func() {
+			defer func() { <-s.refreshMu }() // release the slot even if the source panics
+			c, degraded, err = s.refreshLocked()
+		}()
+		return c, degraded, err
+	}
+}
+
+// refreshLocked runs with the refresh slot held: re-check the cache, probe
+// the source, and on failure fall back to the last-good snapshot within
+// the degraded ceiling.
+func (s *Server) refreshLocked() (*cachedSnap, bool, error) {
+	if s.maxAge >= 0 && !s.degraded.Load() {
+		if c := s.cache.Load(); c != nil && time.Since(c.acquired) <= s.maxAge {
+			// Someone refreshed while we waited for the slot. The cache
+			// slot's reference cannot drop while we hold it, so the
 			// increment cannot race retirement.
-			c2.refs.Add(1)
-			s.cacheMu.Unlock()
-			return c2
+			c.refs.Add(1)
+			return c, false, nil
 		}
-		nc := &cachedSnap{snap: s.src.AcquireSnapshot(), acquired: time.Now()}
+	}
+	snap, err := s.src.AcquireSnapshot()
+	if err == nil {
+		s.degraded.Store(false)
+		nc := &cachedSnap{snap: snap, acquired: time.Now()}
 		nc.refs.Store(2) // the cache slot plus this request
-		old := s.cache.Swap(nc)
-		s.cacheMu.Unlock()
-		if old != nil {
+		if old := s.cache.Swap(nc); old != nil {
 			s.releaseRef(old) // the cache slot's reference
 		}
 		s.noteAcquire(nc)
-		return nc
+		return nc, false, nil
 	}
+	s.refreshErrs.Add(1)
+	msg := err.Error()
+	s.lastRefreshErr.Store(&msg)
+	if s.degraded.CompareAndSwap(false, true) {
+		s.degradedSince.Store(time.Now().UnixNano())
+	}
+	c := s.cache.Load()
+	if c == nil || s.maxDegraded < 0 {
+		s.unavailable.Add(1)
+		return nil, false, fmt.Errorf("serve: no servable snapshot: %w", err)
+	}
+	if age := time.Since(c.snap.BuiltAt()); age > s.maxDegraded {
+		s.unavailable.Add(1)
+		return nil, false, fmt.Errorf("serve: last-good snapshot is %v old, past the %v degraded ceiling: %w",
+			age.Round(time.Millisecond), s.maxDegraded, err)
+	}
+	c.refs.Add(1) // safe: only a swap under the refresh slot retires the cache reference
+	s.degradedServed.Add(1)
+	return c, true, nil
 }
 
 // releaseRef drops one reference; the last drop releases the source
@@ -277,6 +484,18 @@ type envelope struct {
 type snapInfo struct {
 	Version   uint64 `json:"version"`
 	AgeMicros int64  `json:"age_us"`
+	// Degraded marks an answer served from the last-good snapshot while
+	// the source is failing: still consistent and version-monotone, but
+	// no fresher estimate exists until the source recovers.
+	Degraded bool `json:"degraded,omitempty"`
+}
+
+func (s *Server) snapInfoFor(c *cachedSnap, degraded bool) snapInfo {
+	return snapInfo{
+		Version:   c.snap.Version(),
+		AgeMicros: time.Since(c.snap.BuiltAt()).Microseconds(),
+		Degraded:  degraded,
+	}
 }
 
 type probResult struct {
@@ -310,28 +529,66 @@ func (s *Server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, 
 	return body, 0, nil
 }
 
+// requestCtx applies the per-request deadline.
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.reqTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.reqTimeout)
+}
+
+// reject maps admission and snapshot-acquisition failures onto the
+// overload contract: 429 for shed requests, 503 + Retry-After for
+// deadline expiry and unavailable snapshots — always a clean status,
+// never a hang or a torn answer.
+func (s *Server) reject(w http.ResponseWriter, err error) {
+	code := http.StatusServiceUnavailable
+	switch {
+	case errors.Is(err, errShed):
+		code = http.StatusTooManyRequests
+		s.shed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		s.deadlineExceeded.Add(1)
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds))
+	s.fail(w, code, err)
+}
+
+// retryAfterSeconds is the Retry-After hint on 429/503: shed load and
+// source failures are transient at the time scale of a snapshot refresh
+// or a coordinator failover, so clients should come back quickly.
+const retryAfterSeconds = 1
+
 // handle wraps one POST query endpoint with the shared mechanics: request
-// accounting, the body cap, the per-request snapshot acquire/release, the
-// response envelope and latency recording. fn computes the payload from
-// one immutable snapshot.
+// accounting, the per-request deadline, the admission gate, the body cap,
+// the per-request snapshot acquire/release, the response envelope and
+// latency recording. fn computes the payload from one immutable snapshot.
 func (s *Server) handle(ctr *atomic.Int64, fn func(body []byte, snap Snapshot) (any, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		started := time.Now()
 		s.requests.Add(1)
 		s.qps.record(started.Unix())
 		ctr.Add(1)
+		ctx, cancel := s.requestCtx(r)
+		defer cancel()
+		if err := s.gate.enter(ctx); err != nil {
+			s.reject(w, err)
+			return
+		}
+		defer s.gate.leave()
 		body, code, err := s.readBody(w, r)
 		if err != nil {
 			s.fail(w, code, err)
 			return
 		}
-		c := s.acquireRef()
-		result, err := fn(body, c.snap)
-		info := snapInfo{
-			Version:   c.snap.Version(),
-			AgeMicros: time.Since(c.snap.BuiltAt()).Microseconds(),
+		c, degraded, err := s.acquireRef(ctx)
+		if err != nil {
+			s.reject(w, err)
+			return
 		}
-		s.releaseRef(c)
+		defer s.releaseRef(c)
+		result, err := fn(body, c.snap)
+		info := s.snapInfoFor(c, degraded)
 		if err != nil {
 			s.fail(w, http.StatusBadRequest, err)
 			return
@@ -477,12 +734,20 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusMethodNotAllowed, fmt.Errorf("serve: /v1/model wants GET"))
 		return
 	}
-	c := s.acquireRef()
-	m, err := c.snap.Model()
-	info := snapInfo{
-		Version:   c.snap.Version(),
-		AgeMicros: time.Since(c.snap.BuiltAt()).Microseconds(),
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	if err := s.gate.enter(ctx); err != nil {
+		s.reject(w, err)
+		return
 	}
+	defer s.gate.leave()
+	c, degraded, err := s.acquireRef(ctx)
+	if err != nil {
+		s.reject(w, err)
+		return
+	}
+	m, err := c.snap.Model()
+	info := s.snapInfoFor(c, degraded)
 	s.releaseRef(c)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
@@ -510,16 +775,62 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, s.Stats())
 }
 
+// health classifies the server state for /healthz and Stats. It is a
+// read-only view of the last observed refresh outcome — it never probes
+// the source itself, so it stays cheap and non-blocking under overload.
+func (s *Server) health() (string, int) {
+	switch {
+	case s.draining.Load():
+		return HealthDraining, http.StatusServiceUnavailable
+	case s.degraded.Load():
+		c := s.cache.Load()
+		if c == nil || s.maxDegraded < 0 || time.Since(c.snap.BuiltAt()) > s.maxDegraded {
+			return HealthUnavailable, http.StatusServiceUnavailable
+		}
+		return HealthDegraded, http.StatusOK
+	default:
+		return HealthOK, http.StatusOK
+	}
+}
+
+// handleHealthz reports the serving state machine: "ok" and "degraded"
+// answer 200 (the server is answering queries), "draining" and
+// "unavailable" answer 503. Not gated: health must stay readable under
+// overload.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	state, code := s.health()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(code)
+	io.WriteString(w, state+"\n")
+}
+
 // Stats assembles the /statsz payload; safe to call concurrently with
 // serving.
 func (s *Server) Stats() Stats {
 	now := time.Now()
+	health, _ := s.health()
 	st := Stats{
 		UptimeSeconds: now.Sub(s.start).Seconds(),
+		Health:        health,
 		Requests:      s.requests.Load(),
 		Errors:        s.errors.Load(),
+		Panics:        s.panics.Load(),
 		QPS:           s.qps.rate(now.Unix()),
 		ByEndpoint:    make(map[string]int64, len(s.byEndpoint)),
+		Admission: AdmissionStats{
+			MaxConcurrent:    cap(s.gateSem()),
+			MaxQueue:         s.gateMaxQueue(),
+			InFlight:         s.gate.inFlight(),
+			Queued:           s.gate.waiting(),
+			Shed:             s.shed.Load(),
+			DeadlineExceeded: s.deadlineExceeded.Load(),
+		},
+		Degraded: DegradedStats{
+			Active:        s.degraded.Load(),
+			Served:        s.degradedServed.Load(),
+			Unavailable:   s.unavailable.Load(),
+			RefreshErrors: s.refreshErrs.Load(),
+		},
 		Snapshot: SnapshotStats{
 			Acquires:  s.acquires.Load(),
 			Refreshes: s.refreshes.Load(),
@@ -532,6 +843,12 @@ func (s *Server) Stats() Stats {
 			BucketsPow2Micros: s.lat.snapshot(),
 		},
 	}
+	if st.Degraded.Active {
+		st.Degraded.SinceSeconds = now.Sub(time.Unix(0, s.degradedSince.Load())).Seconds()
+	}
+	if p := s.lastRefreshErr.Load(); p != nil {
+		st.Degraded.LastError = *p
+	}
 	for name, ctr := range s.byEndpoint {
 		st.ByEndpoint[name] = ctr.Load()
 	}
@@ -542,4 +859,18 @@ func (s *Server) Stats() Stats {
 		st.Snapshot.AgeMicros = now.Sub(c.snap.BuiltAt()).Microseconds()
 	}
 	return st
+}
+
+func (s *Server) gateSem() chan struct{} {
+	if s.gate == nil {
+		return nil
+	}
+	return s.gate.sem
+}
+
+func (s *Server) gateMaxQueue() int {
+	if s.gate == nil {
+		return 0
+	}
+	return int(s.gate.maxQueue)
 }

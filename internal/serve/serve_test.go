@@ -580,7 +580,7 @@ type gatedSource struct {
 	once    sync.Once
 }
 
-func (g *gatedSource) AcquireSnapshot() Snapshot {
+func (g *gatedSource) AcquireSnapshot() (Snapshot, error) {
 	g.once.Do(func() { close(g.entered) })
 	<-g.release
 	return g.ModelSource.AcquireSnapshot()

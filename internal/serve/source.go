@@ -1,6 +1,8 @@
 package serve
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"distbayes/internal/bn"
@@ -32,9 +34,13 @@ type Snapshot interface {
 type ModelSource interface {
 	Network() *bn.Network
 	// AcquireSnapshot returns the current model snapshot with a read
-	// reference held. It may rebuild (bulk-reading the dirty part of the
-	// counter state) or return the cached snapshot when nothing changed.
-	AcquireSnapshot() Snapshot
+	// reference held, or an error when the back end can no longer produce
+	// one (a closed or crashed coordinator). It may rebuild (bulk-reading
+	// the dirty part of the counter state) or return the cached snapshot
+	// when nothing changed. The server treats an error as a refresh
+	// failure and keeps answering from its last-good snapshot in degraded
+	// mode — see the package comment.
+	AcquireSnapshot() (Snapshot, error)
 }
 
 type trackerSource struct{ t *core.Tracker }
@@ -45,15 +51,132 @@ type trackerSource struct{ t *core.Tracker }
 // whose rows are recycled when its last reader releases it.
 func NewTrackerSource(t *core.Tracker) ModelSource { return trackerSource{t} }
 
-func (s trackerSource) Network() *bn.Network      { return s.t.Network() }
-func (s trackerSource) AcquireSnapshot() Snapshot { return s.t.AcquireSnapshot() }
+func (s trackerSource) Network() *bn.Network { return s.t.Network() }
+func (s trackerSource) AcquireSnapshot() (Snapshot, error) {
+	return s.t.AcquireSnapshot(), nil
+}
 
 type coordinatorSource struct{ co *cluster.Coordinator }
 
 // NewCoordinatorSource serves queries from a live cluster coordinator —
 // the distributed mirror of NewTrackerSource, valid at any time during a
-// run (the paper's query-at-any-time model) and after it completes.
+// run (the paper's query-at-any-time model) and after it completes. A
+// coordinator that was Closed or died with a protocol error fails
+// AcquireSnapshot, which flips the server into degraded mode; a run that
+// completed cleanly keeps serving its final estimates as fresh.
 func NewCoordinatorSource(co *cluster.Coordinator) ModelSource { return coordinatorSource{co} }
 
-func (s coordinatorSource) Network() *bn.Network      { return s.co.Network() }
-func (s coordinatorSource) AcquireSnapshot() Snapshot { return s.co.AcquireSnapshot() }
+func (s coordinatorSource) Network() *bn.Network { return s.co.Network() }
+func (s coordinatorSource) AcquireSnapshot() (Snapshot, error) {
+	if err := s.co.Err(); err != nil {
+		return nil, fmt.Errorf("serve: coordinator source: %w", err)
+	}
+	return s.co.AcquireSnapshot(), nil
+}
+
+// SwappableSource is a ModelSource whose back end can be replaced while
+// the server keeps running — the failover primitive for the degraded-mode
+// story: when the coordinator behind a server dies, a supervisor restores
+// a replacement from its last checkpoint and Swaps it in; the server's
+// degraded mode bridges the gap and the swap restores fresh serving with
+// no restart and no client-visible discontinuity.
+//
+// Versions stay monotone across swaps. A restored coordinator restarts
+// its per-stripe version clocks below the dead one's, so raw versions
+// would jump backwards at failover; SwappableSource offsets every
+// snapshot version by the highest version it has handed out, bumping the
+// offset at each Swap, so the consistency contract ("version monotone
+// non-decreasing") holds across the entire failover sequence.
+type SwappableSource struct {
+	netw *bn.Network
+
+	mu      sync.Mutex // guards cur/offset/maxSeen across acquire and swap
+	cur     ModelSource
+	offset  uint64 // added to every version from cur
+	maxSeen uint64 // highest offset version handed out so far
+}
+
+// NewSwappableSource wraps initial so the back end can later be replaced
+// with Swap.
+func NewSwappableSource(initial ModelSource) (*SwappableSource, error) {
+	if initial == nil {
+		return nil, fmt.Errorf("serve: nil initial source")
+	}
+	return &SwappableSource{netw: initial.Network(), cur: initial}, nil
+}
+
+// Network returns the served network, fixed at construction: every swapped
+// source must serve the same variables.
+func (s *SwappableSource) Network() *bn.Network { return s.netw }
+
+// AcquireSnapshot acquires from the current back end, offsetting the
+// version per the failover contract. The lock is held across the inner
+// acquire so a concurrent Swap cannot interleave between acquisition and
+// the offset bookkeeping; the server's refresh path is single-flight, so
+// the lock is uncontended in practice.
+func (s *SwappableSource) AcquireSnapshot() (Snapshot, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, err := s.cur.AcquireSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	off := s.offset
+	if v := snap.Version() + off; v > s.maxSeen {
+		s.maxSeen = v
+	}
+	return &offsetSnapshot{Snapshot: snap, off: off}, nil
+}
+
+// Swap replaces the back end. The replacement must serve the same network
+// shape (variable names, cardinalities, parent sets); snapshots acquired
+// before the swap stay valid until released.
+func (s *SwappableSource) Swap(next ModelSource) error {
+	if next == nil {
+		return fmt.Errorf("serve: Swap(nil)")
+	}
+	if err := sameShape(s.netw, next.Network()); err != nil {
+		return fmt.Errorf("serve: swapped source incompatible: %w", err)
+	}
+	s.mu.Lock()
+	s.offset = s.maxSeen
+	s.cur = next
+	s.mu.Unlock()
+	return nil
+}
+
+// sameShape checks two networks describe the same variables — the
+// precondition for serving their snapshots interchangeably.
+func sameShape(a, b *bn.Network) error {
+	if b == nil {
+		return fmt.Errorf("nil network")
+	}
+	if a.Len() != b.Len() {
+		return fmt.Errorf("%d variables, want %d", b.Len(), a.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.Var(i).Name != b.Var(i).Name || a.Card(i) != b.Card(i) {
+			return fmt.Errorf("variable %d is %s(card %d), want %s(card %d)",
+				i, b.Var(i).Name, b.Card(i), a.Var(i).Name, a.Card(i))
+		}
+		ap, bp := a.Parents(i), b.Parents(i)
+		if len(ap) != len(bp) {
+			return fmt.Errorf("variable %d has %d parents, want %d", i, len(bp), len(ap))
+		}
+		for j := range ap {
+			if ap[j] != bp[j] {
+				return fmt.Errorf("variable %d parent %d differs", i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// offsetSnapshot shifts the wrapped snapshot's version by the swap offset;
+// everything else (factors, model, release) passes through.
+type offsetSnapshot struct {
+	Snapshot
+	off uint64
+}
+
+func (o *offsetSnapshot) Version() uint64 { return o.Snapshot.Version() + o.off }

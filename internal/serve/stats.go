@@ -108,13 +108,52 @@ func (w *qpsWindow) rate(nowSec int64) float64 {
 // Stats is a point-in-time view of the server's counters — the /statsz
 // payload, also returned by Server.Stats for in-process inspection.
 type Stats struct {
-	UptimeSeconds float64          `json:"uptime_seconds"`
-	Requests      int64            `json:"requests"`
-	Errors        int64            `json:"errors"`
-	QPS           float64          `json:"qps"`
-	ByEndpoint    map[string]int64 `json:"by_endpoint"`
-	Snapshot      SnapshotStats    `json:"snapshot"`
-	Latency       LatencyStats     `json:"latency"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Health is the /healthz state: "ok", "degraded", "draining" or
+	// "unavailable".
+	Health     string           `json:"health"`
+	Requests   int64            `json:"requests"`
+	Errors     int64            `json:"errors"`
+	Panics     int64            `json:"panics"`
+	QPS        float64          `json:"qps"`
+	ByEndpoint map[string]int64 `json:"by_endpoint"`
+	Admission  AdmissionStats   `json:"admission"`
+	Degraded   DegradedStats    `json:"degraded"`
+	Snapshot   SnapshotStats    `json:"snapshot"`
+	Latency    LatencyStats     `json:"latency"`
+}
+
+// AdmissionStats describes the admission gate: its limits, its current
+// occupancy, and how many requests it turned away.
+type AdmissionStats struct {
+	// MaxConcurrent and MaxQueue are the configured limits (0 =
+	// unlimited, no gate).
+	MaxConcurrent int `json:"max_concurrent"`
+	MaxQueue      int `json:"max_queue"`
+	// InFlight and Queued are point-in-time occupancy reads.
+	InFlight int `json:"in_flight"`
+	Queued   int `json:"queued"`
+	// Shed counts requests rejected with 429 (queue full);
+	// DeadlineExceeded counts requests whose deadline expired while
+	// queued at the gate or waiting on a snapshot refresh (503).
+	Shed             int64 `json:"shed"`
+	DeadlineExceeded int64 `json:"deadline_exceeded"`
+}
+
+// DegradedStats describes degraded-mode serving: whether the source is
+// currently failing and how the server has been answering through it.
+type DegradedStats struct {
+	// Active means the last refresh attempt failed; requests are served
+	// from the last-good snapshot (within the staleness ceiling).
+	Active       bool    `json:"active"`
+	SinceSeconds float64 `json:"since_seconds,omitempty"`
+	// Served counts answers from the last-good snapshot while degraded;
+	// Unavailable counts 503s because no snapshot within the ceiling
+	// existed; RefreshErrors counts failed source probes.
+	Served        int64  `json:"served"`
+	Unavailable   int64  `json:"unavailable"`
+	RefreshErrors int64  `json:"refresh_errors"`
+	LastError     string `json:"last_error,omitempty"`
 }
 
 // SnapshotStats describes the served snapshot and how often the server went

@@ -4,8 +4,10 @@
 #
 # The gate is intentionally narrow: it fails only when a throughput
 # benchmark (BenchmarkParallelIngest, BenchmarkDeltaIngest,
-# BenchmarkClusterThroughput, BenchmarkServeQueries — anything reporting
-# events/sec or queries/sec) loses more than BENCH_REGRESSION_PCT
+# BenchmarkClusterThroughput, BenchmarkServeQueries,
+# BenchmarkServeOverload — anything reporting events/sec or queries/sec;
+# for the overload benchmark queries/sec is the admitted-request
+# throughput under shedding) loses more than BENCH_REGRESSION_PCT
 # (default 30) percent of its baseline rate, and only when the runner
 # reports the same `cpu:` line as the machine that recorded the baseline —
 # absolute throughput is not comparable across hardware, so on a different
@@ -28,7 +30,7 @@ cd "$(dirname "$0")/.."
 BASELINE=${BENCH_BASELINE:-BENCH_BASELINE.txt}
 THRESHOLD=${BENCH_REGRESSION_PCT:-30}
 BENCH_TIME=${BENCH_TIME:-1s}
-PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput|BenchmarkServeQueries'
+PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput|BenchmarkServeQueries|BenchmarkServeOverload'
 
 run_benchmarks() {
   go test -count=1 -run '^$' -bench "$PATTERN" -benchtime "$BENCH_TIME" .
