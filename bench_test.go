@@ -522,3 +522,33 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	b.Run("sharded+batched", func(b *testing.B) { run(b, 4, 128, 0) })
 	b.Run("sharded+batched+live", func(b *testing.B) { run(b, 4, 128, 200) })
 }
+
+// BenchmarkStructLearnOverhead isolates what the online structure-learning
+// overlay costs in cluster ingest throughput: the same batched loopback run
+// with the pairwise-statistics accumulation, struct frames, and periodic
+// coordinator relearns on (struct-on) versus off (struct-off). The flat
+// counter protocol is untouched either way (estimates stay bit-identical),
+// so the events/sec gap is the full price of learning the structure online.
+func BenchmarkStructLearnOverhead(b *testing.B) {
+	run := func(b *testing.B, structBatch int) {
+		var frames, events int64
+		for i := 0; i < b.N; i++ {
+			res, _, err := cluster.RunLocal(cluster.Config{
+				NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+				Eps: 0.1, Sites: 4, Events: 4000, StreamSeed: uint64(i + 1),
+				Shards: 4, SiteBatchEvents: 128,
+				StructBatchEvents: structBatch,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			frames += res.Stats.Frames
+			events += res.Stats.Events
+		}
+		sec := b.Elapsed().Seconds()
+		b.ReportMetric(float64(events)/sec, "events/sec")
+		b.ReportMetric(float64(frames)/float64(events), "frames/event")
+	}
+	b.Run("struct-off", func(b *testing.B) { run(b, 0) })
+	b.Run("struct-on", func(b *testing.B) { run(b, 256) })
+}

@@ -75,6 +75,13 @@ func main() {
 		serveDeg = flag.Duration("serve-degraded-age", serve.DefaultMaxDegradedAge, "query-server degraded-mode staleness ceiling (negative = disable degraded serving)")
 		probe    = flag.String("probe", "", "after the run, print P[name=value,...] via the query server's /v1/marginal (requires -serve)")
 		probeTO  = flag.Duration("probe-timeout", 10*time.Second, "deadline for the -probe query; a wedged server fails the probe instead of hanging it")
+
+		structBatch  = flag.Int("struct-batch", 0, "online structure learning: sites ship windowed pairwise statistics every N events (0 = off)")
+		structWin    = flag.Int64("struct-window", 0, "structure-learning MI window in events (0 = events/4)")
+		structBlocks = flag.Int("struct-blocks", 0, "structure-learning window blocks (0 = default)")
+		driftNet     = flag.String("drift-net", "", "switch the generating network to this one mid-stream (same variables; the drift scenario)")
+		driftAfter   = flag.Float64("drift-after", 0, "fraction of each site's stream after which -drift-net takes over (0 = 0.5)")
+		serveLearned = flag.Bool("serve-learned", false, "serve queries from the learned structure instead of the base network (requires -struct-batch and -serve)")
 	)
 	flag.Parse()
 
@@ -96,6 +103,15 @@ func main() {
 		SiteBatchEvents: *batch,
 		LiveQueryMicros: uint32(*live),
 		HotSiteShare:    *hot,
+
+		StructBatchEvents:  *structBatch,
+		StructWindowEvents: *structWin,
+		StructWindowBlocks: *structBlocks,
+		DriftNetName:       *driftNet,
+		DriftAfter:         *driftAfter,
+	}
+	if *serveLearned && (*structBatch == 0 || *serveOn == "") {
+		fatal(fmt.Errorf("-serve-learned requires -struct-batch and -serve"))
 	}
 
 	if *ckpt != "" {
@@ -120,7 +136,7 @@ func main() {
 			fmt.Printf("restored checkpoint %s\n", *ckpt)
 		}
 		fmt.Printf("coordinator listening on %s, waiting for %d sites\n", co.Addr(), cfg.Sites)
-		srv := attachServer(co, *serveOn, *serveCC, *serveDeg)
+		srv := attachServer(co, *serveOn, *serveCC, *serveDeg, *serveLearned)
 		// The query mix runs against the coordinator while Serve ingests:
 		// the standalone-role mirror of RunLocal's LiveQueryMicros driver.
 		stop := make(chan struct{})
@@ -140,6 +156,7 @@ func main() {
 			fatal(err)
 		}
 		report(res)
+		reportStruct(co)
 		finishServer(srv, *probe, *probeTO)
 	case "site":
 		st, err := cluster.NewSite(uint32(*id), *addr).Run()
@@ -154,10 +171,11 @@ func main() {
 		}
 		defer co.Close()
 		report(res)
+		reportStruct(co)
 		// The coordinator stays queryable after the run, so the local role
 		// attaches the server post-run: scripts get the final estimates
 		// over HTTP (the coord role serves live during the run instead).
-		finishServer(attachServer(co, *serveOn, *serveCC, *serveDeg), *probe, *probeTO)
+		finishServer(attachServer(co, *serveOn, *serveCC, *serveDeg, *serveLearned), *probe, *probeTO)
 	default:
 		fatal(fmt.Errorf("unknown role %q", *role))
 	}
@@ -165,13 +183,19 @@ func main() {
 
 // attachServer starts the HTTP query front end over the coordinator when
 // -serve is given (internal/serve; the coord role serves live while frames
-// stream in — the paper's query-at-any-time model).
-func attachServer(co *cluster.Coordinator, addr string, maxConcurrent int, degradedAge time.Duration) *serve.Server {
+// stream in — the paper's query-at-any-time model). With -serve-learned the
+// server answers from the online learned structure (hot-swapped on change)
+// instead of the fixed base network.
+func attachServer(co *cluster.Coordinator, addr string, maxConcurrent int, degradedAge time.Duration, learned bool) *serve.Server {
 	if addr == "" {
 		return nil
 	}
+	src := serve.NewCoordinatorSource(co)
+	if learned {
+		src = serve.NewLearnedCoordinatorSource(co)
+	}
 	srv, err := serve.New(serve.Config{
-		Source:         serve.NewCoordinatorSource(co),
+		Source:         src,
 		MaxConcurrent:  maxConcurrent,
 		MaxDegradedAge: degradedAge,
 	})
@@ -262,6 +286,28 @@ func report(res cluster.Result) {
 	if res.LiveQueries > 0 {
 		fmt.Printf("live-queries %d\n", res.LiveQueries)
 	}
+}
+
+// reportStruct prints the structure-learning summary when the run had the
+// online Chow-Liu overlay enabled (a no-op otherwise).
+func reportStruct(co *cluster.Coordinator) {
+	netw, epoch, ok := co.LearnedStructure()
+	if !ok {
+		return
+	}
+	ss := co.StructLearnStats()
+	fmt.Printf("struct-frames   %d (%d pair-count entries)\n", ss.Frames, ss.Entries)
+	fmt.Printf("struct-relearns %d (%d swaps, epoch %d)\n", ss.Relearns, ss.Swaps, epoch)
+	var sb strings.Builder
+	for i := 0; i < netw.Len(); i++ {
+		for _, p := range netw.Parents(i) {
+			if sb.Len() > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%s-%s", netw.Var(p).Name, netw.Var(i).Name)
+		}
+	}
+	fmt.Printf("learned-tree    %s\n", sb.String())
 }
 
 func fatal(err error) {

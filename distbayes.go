@@ -20,7 +20,8 @@
 //	internal/stream      workload generation (training streams, test queries)
 //	internal/cluster     live TCP implementation (coordinator + sites)
 //	internal/serve       HTTP query front end over immutable model snapshots
-//	internal/chowliu     offline Chow–Liu structure learning
+//	internal/chowliu     Chow–Liu structure learning (offline and the MI
+//	                     primitives of the online distributed path)
 //	internal/decay       time-decayed counters (future-work extension)
 //	internal/experiments one driver per paper table/figure
 //
@@ -120,6 +121,24 @@
 // 500 — is pinned by TestServeChaosCoordinatorKillRestart in
 // internal/serve.
 //
+// # Structure learning
+//
+// The paper treats structure selection as orthogonal ("learned offline on a
+// suitable sample"); internal/chowliu provides that offline route (Learn,
+// LearnModel, re-exported here as LearnStructure/LearnStructureModel) and
+// the repository closes the loop online: with
+// cluster.Config.StructBatchEvents set, sites ship windowed pairwise
+// co-occurrence statistics on the batched frame cadence, the coordinator
+// periodically re-runs Chow–Liu over the aggregated mutual-information
+// matrix (chowliu.MIFromCounts + chowliu.TreeFromMI over per-site
+// decay.WindowVec windows, so stale evidence ages out), and hot-swaps the
+// served structure when the learned tree changes — bumping a structure
+// epoch carried on every snapshot, with versions monotone across the swap.
+// serve.NewLearnedCoordinatorSource serves queries from the learned tree
+// (cmd/bncluster -struct-batch, -serve-learned), and the drift experiment
+// (cmd/bnmle -exp drift, cluster.Config.DriftNetName) demonstrates recovery of a
+// mid-stream structure change with the communication overhead quantified.
+//
 // # Distributed deployment
 //
 // internal/cluster runs the same architecture over real TCP: k site
@@ -146,6 +165,7 @@ import (
 
 	"distbayes/internal/bif"
 	"distbayes/internal/bn"
+	"distbayes/internal/chowliu"
 	"distbayes/internal/core"
 	"distbayes/internal/counter"
 	"distbayes/internal/netgen"
@@ -315,6 +335,19 @@ func Produce(ctx context.Context, t *Training, n int, out chan<- Event) int64 {
 // GenQueries samples probability test events with truth at least minProb.
 func GenQueries(model *Model, count int, minProb float64, seed uint64) ([]Query, error) {
 	return stream.GenQueries(model, stream.QueryOptions{Count: count, MinProb: minProb, Seed: seed})
+}
+
+// LearnStructure estimates a Chow–Liu tree from complete samples — the
+// paper's offline structure-selection route (internal/chowliu). The result
+// is always a single connected tree rooted at variable 0.
+func LearnStructure(samples [][]int, cards []int) (*Network, error) {
+	return chowliu.Learn(samples, cards)
+}
+
+// LearnStructureModel learns the Chow–Liu structure and fits its CPTs by
+// maximum likelihood on the same sample with Laplace smoothing alpha.
+func LearnStructureModel(samples [][]int, cards []int, alpha float64) (*Model, error) {
+	return chowliu.LearnModel(samples, cards, alpha)
 }
 
 // MarshalBIF renders a model in the Bayesian Interchange Format subset

@@ -18,9 +18,10 @@ import (
 
 // Learn estimates a Chow–Liu tree from samples. Each sample is a complete
 // assignment; cards[i] is the domain size of variable i. The returned
-// network is a tree (or forest if some variables are pairwise independent in
-// the sample — zero-MI edges still connect the tree, so the result is always
-// a single tree) rooted at variable 0.
+// network is always a single connected tree rooted at variable 0: pairwise
+// independence in the sample only drives an edge's mutual information to
+// zero, and Prim's algorithm still attaches every variable through its
+// best (possibly zero-weight) edge, so no forest can result.
 func Learn(samples [][]int, cards []int) (*bn.Network, error) {
 	n := len(cards)
 	if n < 1 {
@@ -100,9 +101,17 @@ func LearnModel(samples [][]int, cards []int, alpha float64) (*bn.Model, error) 
 }
 
 // PairwiseMI computes the empirical mutual information of every variable
-// pair; the result is symmetric with zero diagonal.
+// pair; the result is symmetric with zero diagonal. An empty sample slice
+// yields the all-zero matrix (no evidence of dependence), not NaNs.
 func PairwiseMI(samples [][]int, cards []int) [][]float64 {
 	n := len(cards)
+	if len(samples) == 0 {
+		mi := make([][]float64, n)
+		for i := range mi {
+			mi[i] = make([]float64, n)
+		}
+		return mi
+	}
 	m := float64(len(samples))
 
 	// Marginal counts.

@@ -1,0 +1,53 @@
+package chowliu
+
+import "math"
+
+// MIFromCounts computes the empirical mutual information of one variable
+// pair from its joint count table: joint[vi*cj+vj] is the number of
+// co-occurrences of (X_i = vi, X_j = vj), with ci and cj the two domain
+// sizes. Marginals and the sample total are derived from the table itself,
+// so a caller maintaining windowed pair statistics (the online distributed
+// structure-learning path in internal/cluster) needs to ship nothing else.
+// A zero table yields MI 0.
+func MIFromCounts(joint []int64, ci, cj int) float64 {
+	var total int64
+	for _, c := range joint {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	mi := make([]int64, ci)
+	mj := make([]int64, cj)
+	for vi := 0; vi < ci; vi++ {
+		for vj := 0; vj < cj; vj++ {
+			c := joint[vi*cj+vj]
+			mi[vi] += c
+			mj[vj] += c
+		}
+	}
+	m := float64(total)
+	v := 0.0
+	for vi := 0; vi < ci; vi++ {
+		for vj := 0; vj < cj; vj++ {
+			c := float64(joint[vi*cj+vj])
+			if c == 0 {
+				continue
+			}
+			v += (c / m) * math.Log(c*m/(float64(mi[vi])*float64(mj[vj])))
+		}
+	}
+	if v < 0 { // numerical noise
+		v = 0
+	}
+	return v
+}
+
+// TreeFromMI extracts the maximum-weight spanning tree of a symmetric MI
+// matrix, returning parent[i] with -1 at the root (variable 0) — the
+// structure half of Learn, exported for callers that compute MI from
+// their own sufficient statistics rather than a sample slice. The result
+// is always a single connected tree (see Learn).
+func TreeFromMI(mi [][]float64) []int {
+	return maxSpanningTree(len(mi), mi)
+}

@@ -1,0 +1,131 @@
+package chowliu
+
+import (
+	"math"
+	"testing"
+
+	"distbayes/internal/bn"
+)
+
+// TestPairwiseMIEmptySamples pins the divide-by-zero fix: an empty sample
+// slice must yield the all-zero MI matrix, not NaNs from 0/0 marginals.
+func TestPairwiseMIEmptySamples(t *testing.T) {
+	for _, samples := range [][][]int{nil, {}} {
+		mi := PairwiseMI(samples, []int{2, 3, 4})
+		if len(mi) != 3 {
+			t.Fatalf("matrix has %d rows, want 3", len(mi))
+		}
+		for i, row := range mi {
+			if len(row) != 3 {
+				t.Fatalf("row %d has %d entries, want 3", i, len(row))
+			}
+			for j, v := range row {
+				if v != 0 || math.IsNaN(v) {
+					t.Errorf("mi[%d][%d] = %v, want 0", i, j, v)
+				}
+			}
+		}
+	}
+}
+
+// TestLearnIndependentSamplesConnectedTree is the property test behind
+// Learn's doc contract: pairwise-independent samples drive every MI weight
+// toward zero, yet the result must still be a single connected tree rooted
+// at variable 0 — never a forest — and a valid bn.Network.
+func TestLearnIndependentSamplesConnectedTree(t *testing.T) {
+	cards := []int{2, 3, 2, 4, 2, 3}
+	n := len(cards)
+	for seed := uint64(1); seed <= 5; seed++ {
+		rng := bn.NewRNG(seed)
+		samples := make([][]int, 500)
+		for s := range samples {
+			x := make([]int, n)
+			for i := range x {
+				x[i] = rng.Intn(cards[i])
+			}
+			samples[s] = x
+		}
+		net, err := Learn(samples, cards)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(net.Parents(0)) != 0 {
+			t.Fatalf("seed %d: root has parents %v", seed, net.Parents(0))
+		}
+		for i := 1; i < n; i++ {
+			if len(net.Parents(i)) != 1 {
+				t.Fatalf("seed %d: variable %d has %d parents, want 1", seed, i, len(net.Parents(i)))
+			}
+		}
+		// n-1 single-parent edges with a unique root is connected iff every
+		// variable reaches the root by following parents without a cycle.
+		for i := 0; i < n; i++ {
+			at, steps := i, 0
+			for len(net.Parents(at)) > 0 {
+				at = net.Parents(at)[0]
+				if steps++; steps > n {
+					t.Fatalf("seed %d: parent chain from %d cycles", seed, i)
+				}
+			}
+			if at != 0 {
+				t.Fatalf("seed %d: variable %d roots at %d, want 0", seed, i, at)
+			}
+		}
+	}
+}
+
+// TestMIFromCountsMatchesPairwiseMI pins the online path against the batch
+// path: MI computed from a pair's joint count table must equal PairwiseMI
+// on the same sample, and TreeFromMI on that matrix must produce the same
+// undirected tree as Learn.
+func TestMIFromCountsMatchesPairwiseMI(t *testing.T) {
+	m := strongChainModel(t, 6)
+	samples := SampleFromModel(m, 5000, 11)
+	cards := []int{2, 2, 2, 2, 2, 2}
+	n := len(cards)
+
+	want := PairwiseMI(samples, cards)
+	got := make([][]float64, n)
+	for i := range got {
+		got[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			joint := make([]int64, cards[i]*cards[j])
+			for _, s := range samples {
+				joint[s[i]*cards[j]+s[j]]++
+			}
+			v := MIFromCounts(joint, cards[i], cards[j])
+			got[i][j], got[j][i] = v, v
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if math.Abs(got[i][j]-want[i][j]) > 1e-12 {
+				t.Fatalf("mi[%d][%d]: counts path %v, sample path %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+	if MIFromCounts(make([]int64, 4), 2, 2) != 0 {
+		t.Error("zero count table has nonzero MI")
+	}
+
+	learned, err := Learn(samples, cards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEdges := UndirectedEdges(learned)
+	parent := TreeFromMI(got)
+	if parent[0] != -1 {
+		t.Fatalf("TreeFromMI root = %d, want -1 at 0", parent[0])
+	}
+	for i := 1; i < n; i++ {
+		a, b := parent[i], i
+		if a > b {
+			a, b = b, a
+		}
+		if !wantEdges[[2]int{a, b}] {
+			t.Fatalf("TreeFromMI edge (%d,%d) not in Learn's tree %v", a, b, wantEdges)
+		}
+	}
+}

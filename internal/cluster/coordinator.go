@@ -83,6 +83,39 @@ type Config struct {
 	// CheckpointEveryFrames is the checkpoint cadence in received frames
 	// (deterministic, unlike wall clock). 0 disables periodic checkpoints.
 	CheckpointEveryFrames int64
+	// StructBatchEvents, when positive, turns on online distributed
+	// structure learning: every site additionally accumulates cumulative
+	// pairwise co-occurrence counts over all variable pairs and ships them
+	// as one frameStructStats frame every StructBatchEvents events (an
+	// append-only protocol-v4 extension; coordinators and sites that predate
+	// it interoperate with it off). The coordinator windows the aggregated
+	// statistics, re-runs Chow–Liu on the windowed MI matrix at every
+	// window-block rotation, and hot-swaps the published learned structure
+	// when the tree changes (see AcquireLearnedSnapshot). 0 keeps structure
+	// learning off — the default, and the only mode the bit-compat goldens
+	// cover, since learning adds frames to the stream.
+	StructBatchEvents int
+	// StructWindowEvents is the sliding-window width (in events) for the
+	// structure-learning MI statistics; stale co-occurrence mass ages out a
+	// block at a time, which is what lets the learned tree track drift.
+	// 0 defaults to a quarter of Events.
+	StructWindowEvents int64
+	// StructWindowBlocks is the window's block granularity (≥ 2); 0
+	// defaults to 6.
+	StructWindowBlocks int
+	// DriftNetName, when set, makes every site switch its generating model
+	// mid-stream: events before the site's drift point are drawn from
+	// NetName's model, events after from DriftNetName's model (seeded by
+	// DriftCPTSeed). The drift network must have the same variable names and
+	// cardinalities as NetName — only structure and parameters change. The
+	// switch point is a pure function of a site's absolute stream position,
+	// so crash/resume replay reproduces the same stream.
+	DriftNetName string
+	// DriftAfter is the fraction of each site's stream after which the
+	// drift model takes over; 0 defaults to 0.5 when DriftNetName is set.
+	DriftAfter float64
+	// DriftCPTSeed seeds the drift model's ground-truth parameters.
+	DriftCPTSeed uint64
 }
 
 // DefaultReconnectGrace is the reconnect window applied when
@@ -124,7 +157,37 @@ func (c Config) validate() error {
 	if c.CheckpointEveryFrames > 0 && c.CheckpointPath == "" {
 		return fmt.Errorf("cluster: checkpoint cadence set without a checkpoint path")
 	}
+	if c.StructBatchEvents < 0 {
+		return fmt.Errorf("cluster: struct batch cadence = %d, want >= 0", c.StructBatchEvents)
+	}
+	if c.StructWindowEvents < 0 {
+		return fmt.Errorf("cluster: struct window = %d events, want >= 0", c.StructWindowEvents)
+	}
+	if c.StructWindowBlocks < 0 {
+		return fmt.Errorf("cluster: struct window blocks = %d, want >= 0", c.StructWindowBlocks)
+	}
+	if c.DriftAfter < 0 || c.DriftAfter >= 1 {
+		return fmt.Errorf("cluster: drift-after fraction = %v, want [0, 1)", c.DriftAfter)
+	}
+	if c.DriftNetName == "" && (c.DriftAfter != 0 || c.DriftCPTSeed != 0) {
+		return fmt.Errorf("cluster: drift parameters set without a drift network name")
+	}
 	return nil
+}
+
+// structWindow returns the effective structure-learning window parameters.
+func (c Config) structWindow() (events int64, blocks int) {
+	events, blocks = c.StructWindowEvents, c.StructWindowBlocks
+	if blocks == 0 {
+		blocks = 6
+	}
+	if events == 0 {
+		events = int64(c.Events) / 4
+	}
+	if events < int64(blocks) {
+		events = int64(blocks)
+	}
+	return events, blocks
 }
 
 // grace returns the effective reconnect window.
@@ -304,6 +367,15 @@ type Coordinator struct {
 	ckptEvery int64
 	ckptCh    chan struct{}
 	ckptErr   atomic.Pointer[error]
+
+	// structs is the structure-learning overlay (nil unless
+	// Config.StructBatchEvents > 0); see structure.go. It is deliberately
+	// excluded from checkpoints — a restored coordinator relearns from the
+	// sites' cumulative resume replays.
+	structs *structEngine
+	// drift is the resolved drift network (nil unless Config.DriftNetName is
+	// set), validated at construction to share NetName's variable shape.
+	drift *bn.Network
 }
 
 // NewCoordinator validates cfg, regenerates the shared network, and starts
@@ -348,7 +420,44 @@ func NewCoordinator(cfg Config, addr string) (*Coordinator, error) {
 	for i := range co.reported {
 		co.reported[i] = make([]int64, layout.NumCounters())
 	}
+	if cfg.StructBatchEvents > 0 {
+		winEvents, winBlocks := cfg.structWindow()
+		co.structs, err = newStructEngine(netw, cfg.Sites, winEvents, winBlocks)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	if cfg.DriftNetName != "" {
+		drift, err := netgen.ByName(cfg.DriftNetName)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if err := sameVariables(netw, drift); err != nil {
+			ln.Close()
+			return nil, fmt.Errorf("cluster: drift network %q incompatible with %q: %w",
+				cfg.DriftNetName, cfg.NetName, err)
+		}
+		co.drift = drift
+	}
 	return co, nil
+}
+
+// sameVariables checks that two networks describe the same variables (names
+// and cardinalities, in order); structure and parameters may differ.
+func sameVariables(a, b *bn.Network) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("variable count %d vs %d", a.Len(), b.Len())
+	}
+	for i := 0; i < a.Len(); i++ {
+		va, vb := a.Var(i), b.Var(i)
+		if va.Name != vb.Name || va.Card != vb.Card {
+			return fmt.Errorf("variable %d is %s(card %d) vs %s(card %d)",
+				i, va.Name, va.Card, vb.Name, vb.Card)
+		}
+	}
+	return nil
 }
 
 // Addr returns the listening address.
@@ -555,8 +664,16 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 	co.mu.Unlock()
 
 	// The handshake is done: widen the read limit from the control-frame
-	// bound to the largest update frame the layout admits.
-	c.setReadLimit(updatesPayloadCap(co.layout.NumCounters()))
+	// bound to the largest update frame the layout admits (or the largest
+	// struct-stats frame, when structure learning is on and those are
+	// bigger).
+	limit := updatesPayloadCap(co.layout.NumCounters())
+	if co.structs != nil {
+		if sl := structPayloadCap(co.structs.layout.Cells()); sl > limit {
+			limit = sl
+		}
+	}
+	c.setReadLimit(limit)
 
 	var reply error
 	slot.wmu.Lock()
@@ -578,6 +695,16 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 			StreamSeed:    co.cfg.StreamSeed,
 			LatencyMicros: co.cfg.LatencyMicros,
 			BatchEvents:   uint32(co.cfg.SiteBatchEvents),
+		}
+		start.StructBatchEvents = uint32(co.cfg.StructBatchEvents)
+		if co.drift != nil {
+			frac := co.cfg.DriftAfter
+			if frac == 0 {
+				frac = 0.5
+			}
+			start.DriftNetName = co.cfg.DriftNetName
+			start.DriftCPTSeed = co.cfg.DriftCPTSeed
+			start.DriftAtEvent = uint64(frac * float64(co.cfg.eventsFor(id)))
 		}
 		reply = c.writeFrame(frameStart, encodeStart(start))
 	case frameResume:
@@ -693,6 +820,16 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 				return err
 			}
 			co.updates.Add(int64(len(ups)))
+		case frameStructStats:
+			if co.structs == nil {
+				return fmt.Errorf("cluster: site %d sent struct stats but structure learning is off", site)
+			}
+			var siteEvents uint64
+			siteEvents, ups, err = decodeStructStats(ups, payload, co.structs.layout.Cells())
+			if err != nil {
+				return err
+			}
+			co.structs.apply(site, siteEvents, ups)
 		case frameDone:
 			_, events, err := decodeDone(payload)
 			if err != nil {

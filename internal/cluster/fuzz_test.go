@@ -121,11 +121,87 @@ func maxUvarint() []byte {
 	return append(b, byte(v))
 }
 
+// FuzzDecodeStructFrame feeds arbitrary bytes to the frameStructStats
+// decoder: whatever the payload, it must return an error or a well-formed
+// result (ascending in-range cell ids, non-negative counts) and never panic.
+// Successful decodes are re-encoded and re-decoded, pinning the struct-stats
+// codec round trip on fuzzer-discovered inputs.
+func FuzzDecodeStructFrame(f *testing.F) {
+	for _, seed := range fuzzStructFrameSeeds() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		events, ups, err := decodeStructStats(nil, data, fuzzMaxCounters)
+		if err != nil {
+			return
+		}
+		for i, u := range ups {
+			if u.Counter >= fuzzMaxCounters || u.LocalCount < 0 {
+				t.Fatalf("decodeStructStats accepted invalid entry %d: %+v", i, u)
+			}
+			if i > 0 && ups[i-1].Counter >= u.Counter {
+				t.Fatalf("decodeStructStats accepted non-ascending ids at %d", i)
+			}
+		}
+		events2, again, err := decodeStructStats(nil, encodeStructStats(nil, events, ups), fuzzMaxCounters)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded struct stats failed: %v", err)
+		}
+		if events2 != events || len(again) != len(ups) {
+			t.Fatalf("round trip changed header: events %d != %d, entries %d != %d",
+				events2, events, len(again), len(ups))
+		}
+		for i := range ups {
+			if again[i] != ups[i] {
+				t.Fatalf("round trip changed entry %d: %+v != %+v", i, again[i], ups[i])
+			}
+		}
+	})
+}
+
+// fuzzStructFrameSeeds builds valid struct-stats payloads plus truncated and
+// bit-flipped mutants and adversarial headers.
+func fuzzStructFrameSeeds() [][]byte {
+	var seeds [][]byte
+	add := func(payload []byte) {
+		seeds = append(seeds, payload)
+		if len(payload) > 2 {
+			seeds = append(seeds, payload[:len(payload)/2])
+			flipped := append([]byte(nil), payload...)
+			flipped[len(payload)/3] ^= 0x40
+			seeds = append(seeds, flipped)
+		}
+	}
+	add(encodeStructStats(nil, 0, nil))
+	add(encodeStructStats(nil, 1, []Update{{Counter: 0, LocalCount: 1}}))
+	add(encodeStructStats(nil, 123456, []Update{
+		{Counter: 3, LocalCount: 7}, {Counter: 4, LocalCount: 300}, {Counter: 900, LocalCount: 1 << 40},
+	}))
+	// Max-varint event count, huge declared entry count.
+	seeds = append(seeds, append(maxUvarint(), 1, 1, 1))
+	seeds = append(seeds, []byte{7, 0xff, 0xff, 0xff, 0xff, 0x0f, 1, 1})
+	return seeds
+}
+
+// TestWriteFuzzDecodeStructFrameCorpus regenerates the committed seed corpus
+// for FuzzDecodeStructFrame when DISTBAYES_WRITE_FUZZ_CORPUS is set;
+// normally it only verifies the corpus directory exists.
+func TestWriteFuzzDecodeStructFrameCorpus(t *testing.T) {
+	writeFuzzCorpus(t, filepath.Join("testdata", "fuzz", "FuzzDecodeStructFrame"), fuzzStructFrameSeeds())
+}
+
 // TestWriteFuzzDecodeFrameCorpus regenerates the committed seed corpus under
 // testdata/fuzz when DISTBAYES_WRITE_FUZZ_CORPUS is set; normally it only
 // verifies the corpus directory exists.
 func TestWriteFuzzDecodeFrameCorpus(t *testing.T) {
-	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeFrame")
+	writeFuzzCorpus(t, filepath.Join("testdata", "fuzz", "FuzzDecodeFrame"), fuzzFrameSeeds())
+}
+
+// writeFuzzCorpus writes seeds to dir in the go-fuzz corpus format when
+// DISTBAYES_WRITE_FUZZ_CORPUS is set, and otherwise just verifies the
+// committed corpus exists.
+func writeFuzzCorpus(t *testing.T, dir string, seeds [][]byte) {
+	t.Helper()
 	if os.Getenv("DISTBAYES_WRITE_FUZZ_CORPUS") == "" {
 		if _, err := os.Stat(dir); err != nil {
 			t.Fatalf("seed corpus missing: %v (regenerate with DISTBAYES_WRITE_FUZZ_CORPUS=1)", err)
@@ -135,7 +211,7 @@ func TestWriteFuzzDecodeFrameCorpus(t *testing.T) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		t.Fatal(err)
 	}
-	for i, seed := range fuzzFrameSeeds() {
+	for i, seed := range seeds {
 		payload := []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n")
 		if err := os.WriteFile(filepath.Join(dir, "seed"+strconv.Itoa(i)), payload, 0o644); err != nil {
 			t.Fatal(err)

@@ -149,6 +149,17 @@ const (
 	// closing frameStats on the same connection, so a site that crashed
 	// after the run finished still collects its stats.
 	frameResumeAck byte = 8
+	// frameStructStats carries a site's cumulative pairwise-MI sufficient
+	// statistics for online structure learning (protocol version 4,
+	// site → coordinator): uvarint site event count, then the frameUpdates2
+	// entry encoding over StructLayout cell ids — uvarint entry count,
+	// per-entry uvarint cell-id delta (strictly ascending) and uvarint
+	// cumulative co-occurrence count. Counts are cumulative and monotone, so
+	// the coordinator's max-merge fold absorbs replays and duplicates
+	// exactly like counter updates; the frame is append-only over versions
+	// 1-3 (a coordinator not running structure learning never requests it
+	// and old coordinators never see it).
+	frameStructStats byte = 9
 )
 
 // frameResumeAck flag bits.
@@ -187,6 +198,22 @@ func updatesPayloadCap(numCounters uint32) uint32 {
 	return uint32(cap)
 }
 
+// structPayloadCap is the largest well-formed frameStructStats payload for a
+// structure layout of numCells pair cells — the struct-stats mirror of
+// updatesPayloadCap, used to widen a connection's read limit when structure
+// learning is on.
+func structPayloadCap(numCells uint32) uint32 {
+	cap := uint64(binary.MaxVarintLen64) + uint64(binary.MaxVarintLen32) +
+		uint64(numCells)*(binary.MaxVarintLen32+binary.MaxVarintLen64)
+	if cap > maxFrame {
+		return maxFrame
+	}
+	if cap < maxControlFrame {
+		return maxControlFrame
+	}
+	return uint32(cap)
+}
+
 // Update is one counter update entry inside a frameUpdates frame.
 type Update struct {
 	// Counter is the global counter id (see Layout).
@@ -221,6 +248,25 @@ type StartConfig struct {
 	// ships one frameUpdates2 frame every BatchEvents events. 0 selects the
 	// version-1 behavior — one frameUpdates frame per triggering event.
 	BatchEvents uint32
+	// StructBatchEvents is the online structure-learning cadence (protocol
+	// version 4): the site accumulates pairwise co-occurrence counts over
+	// all variable pairs and ships its cumulative statistics as one
+	// frameStructStats frame every StructBatchEvents events. 0 disables
+	// structure learning (no struct frames, no per-event pair accounting).
+	StructBatchEvents uint32
+	// DriftAtEvent, when DriftNetName is nonempty, is the absolute stream
+	// position at which this site's generating model switches from the base
+	// network to the drift network — the mid-stream structure-change
+	// scenario. Absolute positions keep the switch deterministic across
+	// reconnects and restarts.
+	DriftAtEvent uint64
+	// DriftCPTSeed seeds the drift model's ground-truth parameters.
+	DriftCPTSeed uint64
+	// DriftNetName names the post-drift generating network (netgen registry
+	// name, regenerated deterministically on both sides like NetName). It
+	// must describe the same variables (names and cardinalities) as NetName;
+	// only the structure and parameters may differ. Empty = no drift.
+	DriftNetName string
 }
 
 // Stats is the coordinator's closing summary sent to each site and returned
@@ -299,14 +345,18 @@ func (c *conn) readFrame() (byte, []byte, error) {
 	return hdr[0], payload, nil
 }
 
-// encodeStart serializes a StartConfig. The trailing BatchEvents field is
-// the version-2 extension: it is emitted only when batching is on, so a
-// coordinator not using batching sends the version-1 length and old site
-// binaries — whose decoders require that length exactly — still
+// encodeStart serializes a StartConfig. The trailing fields are append-only
+// version extensions: BatchEvents (version 2) is emitted only when batching
+// is on, so a coordinator not using batching sends the version-1 length and
+// old site binaries — whose decoders require that length exactly — still
 // interoperate. (A batching coordinator genuinely needs version-2 sites.)
+// The version-4 tail (StructBatchEvents, the drift fields) is likewise
+// emitted only when structure learning or drift is configured, and always
+// includes BatchEvents so the decoder's length switch stays unambiguous.
 func encodeStart(cfg StartConfig) []byte {
 	name := []byte(cfg.NetName)
-	buf := make([]byte, 0, 64+len(name))
+	driftName := []byte(cfg.DriftNetName)
+	buf := make([]byte, 0, 96+len(name)+len(driftName))
 	var tmp [8]byte
 	put32 := func(v uint32) {
 		binary.LittleEndian.PutUint32(tmp[:4], v)
@@ -327,15 +377,26 @@ func encodeStart(cfg StartConfig) []byte {
 	put64(cfg.Events)
 	put64(cfg.StreamSeed)
 	put32(cfg.LatencyMicros)
-	if cfg.BatchEvents != 0 {
+	v4 := cfg.StructBatchEvents != 0 || cfg.DriftNetName != "" || cfg.DriftAtEvent != 0 || cfg.DriftCPTSeed != 0
+	if cfg.BatchEvents != 0 || v4 {
 		put32(cfg.BatchEvents)
+	}
+	if v4 {
+		put32(cfg.StructBatchEvents)
+		put64(cfg.DriftAtEvent)
+		put64(cfg.DriftCPTSeed)
+		put32(uint32(len(driftName)))
+		buf = append(buf, driftName...)
 	}
 	return buf
 }
 
 // decodeStart parses a StartConfig payload. Version-1 frames (without the
 // trailing BatchEvents field) are still accepted and decode with
-// BatchEvents = 0, so an old coordinator can drive a new site.
+// BatchEvents = 0, so an old coordinator can drive a new site; version-2
+// frames decode with the structure-learning and drift fields zero; the
+// version-4 tail is length-validated exactly (fixed fields plus the drift
+// name it declares).
 func decodeStart(b []byte) (StartConfig, error) {
 	var cfg StartConfig
 	if len(b) < 4 {
@@ -350,10 +411,17 @@ func decodeStart(b []byte) (StartConfig, error) {
 	b = b[n:]
 	const restV1 = 8 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 4
 	const restV2 = restV1 + 4
-	if len(b) != restV1 && len(b) != restV2 {
-		return cfg, fmt.Errorf("cluster: start frame length %d, want %d or %d", len(b), restV1, restV2)
+	const restV4 = restV2 + 4 + 8 + 8 + 4 // + drift name bytes
+	v2, v4 := false, false
+	switch {
+	case len(b) == restV1:
+	case len(b) == restV2:
+		v2 = true
+	case len(b) >= restV4:
+		v2, v4 = true, true
+	default:
+		return cfg, fmt.Errorf("cluster: start frame length %d, want %d, %d or >= %d", len(b), restV1, restV2, restV4)
 	}
-	v2 := len(b) == restV2
 	cfg.CPTSeed = binary.LittleEndian.Uint64(b)
 	b = b[8:]
 	cfg.Strategy = b[0]
@@ -371,9 +439,24 @@ func decodeStart(b []byte) (StartConfig, error) {
 	cfg.StreamSeed = binary.LittleEndian.Uint64(b)
 	b = b[8:]
 	cfg.LatencyMicros = binary.LittleEndian.Uint32(b)
+	b = b[4:]
 	if v2 {
-		b = b[4:]
 		cfg.BatchEvents = binary.LittleEndian.Uint32(b)
+		b = b[4:]
+	}
+	if v4 {
+		cfg.StructBatchEvents = binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		cfg.DriftAtEvent = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		cfg.DriftCPTSeed = binary.LittleEndian.Uint64(b)
+		b = b[8:]
+		dn := binary.LittleEndian.Uint32(b)
+		b = b[4:]
+		if uint64(len(b)) != uint64(dn) {
+			return cfg, fmt.Errorf("cluster: start frame drift name declares %d bytes, has %d", dn, len(b))
+		}
+		cfg.DriftNetName = string(b)
 	}
 	return cfg, nil
 }
@@ -483,6 +566,44 @@ func decodeUpdates2(dst []Update, b []byte, maxCounters uint32) ([]Update, error
 		return nil, fmt.Errorf("cluster: updates2 frame has %d trailing bytes", len(b))
 	}
 	return dst, nil
+}
+
+// encodeStructStats serializes a site's cumulative structure statistics into
+// dst (reused): uvarint siteEvents (the site's stream position), then the
+// frameUpdates2 entry encoding over StructLayout cell ids. ups must be
+// sorted by strictly ascending cell id with non-negative counts — the
+// site-side accumulation guarantees both.
+func encodeStructStats(dst []byte, siteEvents uint64, ups []Update) []byte {
+	dst = dst[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], siteEvents)]...)
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(ups)))]...)
+	prev := uint32(0)
+	for _, u := range ups {
+		delta := u.Counter - prev // for the first entry prev is 0: delta is the id itself
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(delta))]...)
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(u.LocalCount))]...)
+		prev = u.Counter
+	}
+	return dst
+}
+
+// decodeStructStats parses a frameStructStats payload into dst (reused),
+// returning the site's event count and its cumulative cell counts. The
+// entry section shares decodeUpdates2's validation: the declared entry
+// count is length-checked against maxCells and the payload before any
+// allocation, ids must be strictly ascending within the structure layout,
+// and trailing bytes are rejected.
+func decodeStructStats(dst []Update, b []byte, maxCells uint32) (uint64, []Update, error) {
+	siteEvents, used := binary.Uvarint(b)
+	if used <= 0 {
+		return 0, nil, fmt.Errorf("cluster: struct-stats frame missing event count")
+	}
+	ups, err := decodeUpdates2(dst, b[used:], maxCells)
+	if err != nil {
+		return 0, nil, err
+	}
+	return siteEvents, ups, nil
 }
 
 func encodeDone(site uint32, events int64) []byte {

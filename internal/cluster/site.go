@@ -89,6 +89,15 @@ type siteRun struct {
 	doneSent bool
 	// batch is the pending protocol-v2 coalescing window (nil in v1 mode).
 	batch map[uint32]int64
+	// structLayout/structCounts hold the structure-learning overlay's
+	// cumulative pairwise co-occurrence counts (protocol v4; nil/empty with
+	// learning off). Counts are monotone and shipped whole, so a replayed
+	// frame max-merges to a no-op on the coordinator.
+	structLayout *StructLayout
+	structCounts []int64
+	// drift is the post-drift generating stream (nil without drift); events
+	// at positions ≥ cfg.DriftAtEvent are drawn from it instead of training.
+	drift *stream.Training
 	// scratch buffers reused across frames.
 	ups []Update
 	buf []byte
@@ -131,7 +140,51 @@ func newSiteRun(id uint32, cfg StartConfig) (*siteRun, error) {
 	if cfg.BatchEvents > 0 {
 		st.batch = make(map[uint32]int64, 2*netw.Len())
 	}
+	if cfg.StructBatchEvents > 0 {
+		if st.structLayout, err = NewStructLayout(netw); err != nil {
+			return nil, err
+		}
+		st.structCounts = make([]int64, st.structLayout.Cells())
+	}
+	if cfg.DriftNetName != "" {
+		driftNet, err := netgen.ByName(cfg.DriftNetName)
+		if err != nil {
+			return nil, err
+		}
+		if err := sameVariables(netw, driftNet); err != nil {
+			return nil, fmt.Errorf("cluster: drift network %q incompatible with %q: %w",
+				cfg.DriftNetName, cfg.NetName, err)
+		}
+		opt := netgen.DefaultCPTOptions()
+		opt.Seed = cfg.DriftCPTSeed
+		driftCPDs, err := netgen.GenCPTs(driftNet, opt)
+		if err != nil {
+			return nil, err
+		}
+		driftModel, err := bn.NewModel(driftNet, driftCPDs)
+		if err != nil {
+			return nil, err
+		}
+		// A fixed seed derivation keeps the drift stream deterministic across
+		// restarts: both halves of the stream are pure functions of the
+		// StartConfig and the absolute event position.
+		st.drift = stream.NewSiteTraining(driftModel, int(id), cfg.StreamSeed^0xd21f7a3c5e9b11)
+	}
 	return st, nil
+}
+
+// nextEvent draws the site's next stream event: from the base generating
+// model before the drift point, from the drift model at and after it. Both
+// sub-streams advance only when consumed, and the switch is a pure function
+// of the absolute position st.next, so a restart's replay from event zero
+// regenerates the identical stream.
+func (st *siteRun) nextEvent() []int {
+	if st.drift != nil && st.next >= st.cfg.DriftAtEvent {
+		_, x := st.drift.Next()
+		return x
+	}
+	_, x := st.training.Next()
+	return x
 }
 
 func (s *Site) maxResumes() int {
@@ -335,11 +388,39 @@ func (s *Site) replay(c *conn, st *siteRun) error {
 		// window boundary.
 		clear(st.batch)
 	}
-	if len(st.ups) == 0 {
+	if len(st.ups) > 0 {
+		st.buf = encodeUpdates2(st.buf, st.ups)
+		if err := c.writeFrame(frameUpdates2, st.buf); err != nil {
+			return err
+		}
+	}
+	// Re-ship the cumulative structure statistics too: a coordinator
+	// restored from a checkpoint restarts with an empty MI window, and the
+	// replayed cumulative counts (max-merged, so a no-op when nothing was
+	// lost) put the per-site statistics back.
+	if err := s.shipStructStats(c, st); err != nil {
+		return err
+	}
+	return c.flush()
+}
+
+// shipStructStats sends the site's full cumulative pairwise co-occurrence
+// vector and stream position as one frameStructStats frame (a no-op with
+// structure learning off or before the first event). Cumulative counts make
+// the frame self-contained: the coordinator max-merges it, so duplicates
+// and replays are absorbed.
+func (s *Site) shipStructStats(c *conn, st *siteRun) error {
+	if st.structCounts == nil || st.next == 0 {
 		return nil
 	}
-	st.buf = encodeUpdates2(st.buf, st.ups)
-	if err := c.writeFrame(frameUpdates2, st.buf); err != nil {
+	st.ups = st.ups[:0]
+	for id, n := range st.structCounts {
+		if n != 0 {
+			st.ups = append(st.ups, Update{Counter: uint32(id), LocalCount: n})
+		}
+	}
+	st.buf = encodeStructStats(st.buf, st.next, st.ups)
+	if err := c.writeFrame(frameStructStats, st.buf); err != nil {
 		return err
 	}
 	return c.flush()
@@ -378,7 +459,10 @@ func (s *Site) process(c *conn, st *siteRun) error {
 			return ErrSiteCrashed
 		}
 		e := st.next
-		_, x := st.training.Next()
+		x := st.nextEvent()
+		if st.structCounts != nil {
+			st.structLayout.Accumulate(st.structCounts, x)
+		}
 		st.ups = st.ups[:0]
 		for i := 0; i < netw.Len(); i++ {
 			pidx := netw.ParentIndex(i, x)
@@ -406,6 +490,11 @@ func (s *Site) process(c *conn, st *siteRun) error {
 				time.Sleep(latency)
 			}
 		}
+		if st.structCounts != nil && (e+1)%uint64(cfg.StructBatchEvents) == 0 {
+			if err := s.shipStructStats(c, st); err != nil {
+				return err
+			}
+		}
 		// Cadence check runs even for update-less events (the paper's no
 		// update, no message optimization), so a frame buffered during a
 		// long quiet stretch still reaches the coordinator promptly.
@@ -414,6 +503,10 @@ func (s *Site) process(c *conn, st *siteRun) error {
 				return err
 			}
 		}
+	}
+	// A final ship covers the tail shorter than one struct batch window.
+	if err := s.shipStructStats(c, st); err != nil {
+		return err
 	}
 	return c.flush()
 }
@@ -464,7 +557,10 @@ func (s *Site) processBatched(c *conn, st *siteRun) error {
 			return ErrSiteCrashed
 		}
 		e := st.next
-		_, x := st.training.Next()
+		x := st.nextEvent()
+		if st.structCounts != nil {
+			st.structLayout.Accumulate(st.structCounts, x)
+		}
 		for i := 0; i < netw.Len(); i++ {
 			pidx := netw.ParentIndex(i, x)
 			for _, id := range [2]uint32{layout.PairID(i, x[i], pidx), layout.ParID(i, pidx)} {
@@ -481,6 +577,15 @@ func (s *Site) processBatched(c *conn, st *siteRun) error {
 				return err
 			}
 		}
+		if st.structCounts != nil && (e+1)%uint64(cfg.StructBatchEvents) == 0 {
+			if err := s.shipStructStats(c, st); err != nil {
+				return err
+			}
+		}
 	}
-	return flush()
+	if err := flush(); err != nil {
+		return err
+	}
+	// A final ship covers the tail shorter than one struct batch window.
+	return s.shipStructStats(c, st)
 }

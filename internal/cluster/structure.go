@@ -1,0 +1,547 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distbayes/internal/bn"
+	"distbayes/internal/chowliu"
+	"distbayes/internal/decay"
+)
+
+// This file closes the structure-learning loop over the distributed stream
+// (ROADMAP item "distributed structure learning + drift"). Sites accumulate
+// windowless cumulative pair co-occurrence counts for every variable pair
+// and ship them as frameStructStats frames on a batching cadence; the
+// coordinator max-merges them per site (idempotent, like counter reports),
+// folds the resulting deltas into a decay.WindowVec so stale statistics age
+// out, and re-runs Chow–Liu on the windowed MI matrix at every window-block
+// rotation. When the learned tree's undirected edge set changes, the
+// coordinator hot-swaps the published structure: a new structState with a
+// bumped structure epoch, its parent-pair parameters seeded directly from
+// the same windowed pair statistics (for a tree, the windowed pair joint
+// counts ARE the CPT sufficient statistics). The flat base-DAG parameter
+// tracking is untouched — structure learning is a coordinator-local overlay,
+// so Shards ≤ 1 + batching + structure learning off stays bit-identical to
+// the sequential goldens, and the chaos invariants hold unchanged.
+//
+// Checkpoints (DBCLUS01) deliberately exclude the structure engine: a
+// restored coordinator restarts with an empty MI window and relearns from
+// the sites' cumulative resume replays, which restore the per-site
+// statistics exactly (counts are monotone and cumulative).
+
+// StructLayout assigns a flat cell id to every (variable pair, value pair)
+// co-occurrence cell: all unordered pairs i < j over the network's
+// variables, each pair owning Card(i)·Card(j) contiguous cells in value
+// row-major order. It is the structure-learning counterpart of Layout and
+// is derived deterministically from the network on both sides, so only
+// cell ids travel on the wire.
+type StructLayout struct {
+	net     *bn.Network
+	pairs   [][2]int // (i, j) with i < j, lexicographic
+	pairIdx [][]int  // pairIdx[i][j-i-1] = pair index of (i, j)
+	pairOff []uint32 // first cell id of each pair
+	cells   uint32
+}
+
+// NewStructLayout builds the pair-cell layout for net (which needs at least
+// two variables to have any pairs).
+func NewStructLayout(net *bn.Network) (*StructLayout, error) {
+	n := net.Len()
+	if n < 2 {
+		return nil, fmt.Errorf("cluster: structure learning needs >= 2 variables, net has %d", n)
+	}
+	l := &StructLayout{net: net, pairIdx: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		l.pairIdx[i] = make([]int, n-i-1)
+		for j := i + 1; j < n; j++ {
+			l.pairIdx[i][j-i-1] = len(l.pairs)
+			l.pairs = append(l.pairs, [2]int{i, j})
+			l.pairOff = append(l.pairOff, l.cells)
+			cells := uint64(l.cells) + uint64(net.Card(i))*uint64(net.Card(j))
+			if cells > 1<<28 {
+				return nil, fmt.Errorf("cluster: structure layout of %d+ cells too large", cells)
+			}
+			l.cells = uint32(cells)
+		}
+	}
+	return l, nil
+}
+
+// Cells returns the total number of co-occurrence cells.
+func (l *StructLayout) Cells() uint32 { return l.cells }
+
+// NumPairs returns the number of variable pairs.
+func (l *StructLayout) NumPairs() int { return len(l.pairs) }
+
+// PairAt returns the p-th pair (i, j) with i < j.
+func (l *StructLayout) PairAt(p int) (int, int) { return l.pairs[p][0], l.pairs[p][1] }
+
+// PairIndex returns the pair index of (i, j); callers pass i < j.
+func (l *StructLayout) PairIndex(i, j int) int { return l.pairIdx[i][j-i-1] }
+
+// CellID returns the cell id of the co-occurrence (X_i = vi, X_j = vj);
+// callers pass i < j.
+func (l *StructLayout) CellID(i, vi, j, vj int) uint32 {
+	return l.pairOff[l.PairIndex(i, j)] + uint32(vi*l.net.Card(j)+vj)
+}
+
+// JointAt returns pair p's joint count table as a sub-slice of a full cell
+// vector: entry vi*Card(j)+vj is the (vi, vj) co-occurrence count.
+func (l *StructLayout) JointAt(counts []int64, p int) []int64 {
+	lo := l.pairOff[p]
+	hi := uint32(len(counts))
+	if p+1 < len(l.pairs) {
+		hi = l.pairOff[p+1]
+	}
+	return counts[lo:hi]
+}
+
+// Accumulate folds one complete observation into counts: every pair's
+// co-occurrence cell gains one.
+func (l *StructLayout) Accumulate(counts []int64, x []int) {
+	n := l.net.Len()
+	p := 0
+	for i := 0; i < n; i++ {
+		rowBase := x[i]
+		for j := i + 1; j < n; j++ {
+			counts[l.pairOff[p]+uint32(rowBase*l.net.Card(j)+x[j])]++
+			p++
+		}
+	}
+}
+
+// ErrStructLearningOff is returned by AcquireLearnedSnapshot when the run
+// was configured without structure learning.
+var ErrStructLearningOff = errors.New("cluster: structure learning not enabled")
+
+// ErrNoLearnedStructure is returned by AcquireLearnedSnapshot before the
+// first window-block rotation has produced a learned tree. The serving
+// layer treats it as a refresh failure: a server over a learned source
+// reports unavailable (clean 503s) until the first structure lands, then
+// serves normally — the documented cold-start behavior.
+var ErrNoLearnedStructure = errors.New("cluster: no learned structure yet")
+
+// structState is one immutable published structure: the learned tree, its
+// windowed-MLE parameters, and the epoch/version pair the serving contract
+// rides on. Hot swaps publish a fresh structState; readers holding an old
+// one keep a consistent view.
+type structState struct {
+	// epoch counts structure changes: 1 for the first learned tree, bumped
+	// every time the learned undirected edge set differs from the previous
+	// one. Surfaced on every snapshot so serving clients can observe swaps.
+	epoch uint64
+	// version is the struct-statistics version the state was built from —
+	// monotone across relearns (parameter refreshes bump it even when the
+	// tree is unchanged), which keeps the per-client version-monotone
+	// serving contract intact across hot swaps.
+	version uint64
+	builtAt time.Time
+	// net is the learned tree (base variable names and cardinalities,
+	// learned single-parent structure, rooted at variable 0).
+	net    *bn.Network
+	parent []int
+	// factors[i][pidx*Card(i)+v] estimates P[X_i = v | parent config pidx],
+	// seeded from the windowed pair statistics; rows with an unobserved
+	// parent configuration are uniform (chowliu.LearnModel's convention).
+	factors [][]float64
+	// windowTotal is the in-window event mass the state was learned from.
+	windowTotal int64
+
+	modelOnce sync.Once
+	model     *bn.Model
+	modelErr  error
+}
+
+// LearnedSnapshot is a read handle on one published learned structure,
+// implementing the serving layer's Snapshot contract (including Network and
+// StructureEpoch — the structure genuinely changes across snapshots here,
+// unlike the flat parameter snapshots).
+type LearnedSnapshot struct{ s *structState }
+
+// Factor returns the learned estimate of P[X_i = v | parent config pidx]
+// under this snapshot's tree.
+func (s *LearnedSnapshot) Factor(i, v, pidx int) float64 {
+	return s.s.factors[i][pidx*s.s.net.Card(i)+v]
+}
+
+// Version identifies the struct-statistics state the snapshot was learned
+// from; monotone non-decreasing across acquisitions, including across
+// structure swaps.
+func (s *LearnedSnapshot) Version() uint64 { return s.s.version }
+
+// BuiltAt is when the structure was learned.
+func (s *LearnedSnapshot) BuiltAt() time.Time { return s.s.builtAt }
+
+// Network returns the learned tree.
+func (s *LearnedSnapshot) Network() *bn.Network { return s.s.net }
+
+// StructureEpoch counts structure changes; it bumps exactly when the
+// learned undirected edge set changes (a hot swap).
+func (s *LearnedSnapshot) StructureEpoch() uint64 { return s.s.epoch }
+
+// WindowEvents is the in-window event mass the structure was learned from.
+func (s *LearnedSnapshot) WindowEvents() int64 { return s.s.windowTotal }
+
+// Model normalizes the learned factors into a bn.Model, built at most once
+// per snapshot; immutable.
+func (s *LearnedSnapshot) Model() (*bn.Model, error) {
+	st := s.s
+	st.modelOnce.Do(func() {
+		st.model, st.modelErr = bn.NewNormalizedModel(st.net, func(i int, tbl []float64) {
+			copy(tbl, st.factors[i])
+		})
+	})
+	return st.model, st.modelErr
+}
+
+// Release is a no-op: learned snapshots are garbage-collected.
+func (s *LearnedSnapshot) Release() {}
+
+// StructStats summarizes the structure-learning overlay's communication and
+// learning activity — the numbers the drift experiment quotes against the
+// flat fixed-structure run.
+type StructStats struct {
+	// Frames and Entries count received frameStructStats frames and their
+	// cell entries (Frames is also included in Stats.Frames).
+	Frames, Entries int64
+	// Relearns counts Chow–Liu re-runs; Swaps counts the subset that
+	// changed the undirected edge set after the first learned tree.
+	Relearns, Swaps int64
+	// Epoch is the current structure epoch (0 before the first learn).
+	Epoch uint64
+}
+
+// structEngine is the coordinator's structure-learning overlay: per-site
+// cumulative pair statistics, the sliding MI window, and the published
+// learned structure. All mutation happens under mu on the site reader
+// goroutines; the published state is an atomic pointer so query paths never
+// block on ingestion.
+type structEngine struct {
+	layout *StructLayout
+	net    *bn.Network
+
+	mu         sync.Mutex
+	perSite    [][]int64 // cumulative cell counts per site (max-merged)
+	siteEvents []uint64  // per-site stream positions (max-merged)
+	// windows holds one sliding window per site, advanced by that site's
+	// own stream clock. Sites drain their streams at arbitrary relative
+	// paces (a fast site can ship its whole stream before a slow one
+	// starts), so a single window over frame-arrival order would mix stream
+	// epochs; per-site windows keyed to per-site positions make the
+	// windowed statistics independent of cross-site scheduling — each
+	// site's contribution is exactly its own last windowEvents/k events.
+	windows  []*decay.WindowVec
+	agg      []int64 // scratch: sum of the per-site windows, reused
+	version  uint64  // bumped per applied struct frame
+	frames   int64
+	entries  int64
+	relearns int64
+	swaps    int64
+	mi       [][]float64 // scratch MI matrix, reused across relearns
+
+	state atomic.Pointer[structState]
+}
+
+// newStructEngine builds the overlay for a coordinator. windowEvents is the
+// global window target; each site's window covers windowEvents/sites of its
+// own stream (clamped to the block minimum), so the aggregate approximates
+// the last windowEvents of the union stream under balanced routing and
+// stays phase-aligned per site under any scheduling.
+func newStructEngine(netw *bn.Network, sites int, windowEvents int64, blocks int) (*structEngine, error) {
+	layout, err := NewStructLayout(netw)
+	if err != nil {
+		return nil, err
+	}
+	perSiteWindow := windowEvents / int64(sites)
+	if perSiteWindow < int64(blocks) {
+		perSiteWindow = int64(blocks)
+	}
+	e := &structEngine{
+		layout:     layout,
+		net:        netw,
+		perSite:    make([][]int64, sites),
+		siteEvents: make([]uint64, sites),
+		windows:    make([]*decay.WindowVec, sites),
+		agg:        make([]int64, layout.Cells()),
+		mi:         make([][]float64, netw.Len()),
+	}
+	for i := range e.perSite {
+		e.perSite[i] = make([]int64, layout.Cells())
+		if e.windows[i], err = decay.NewWindowVec(int(layout.Cells()), perSiteWindow, blocks); err != nil {
+			return nil, err
+		}
+	}
+	for i := range e.mi {
+		e.mi[i] = make([]float64, netw.Len())
+	}
+	return e, nil
+}
+
+// apply folds one decoded frameStructStats frame: max-merge the site's
+// cumulative cell counts (deltas land in the site window's live block),
+// advance that window's clock by the site's stream progress, and relearn on
+// every block rotation. Replayed or duplicated frames contribute zero
+// deltas and zero clock advance — idempotent, like counter updates.
+func (e *structEngine) apply(site uint32, siteEvents uint64, ups []Update) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	row, win := e.perSite[site], e.windows[site]
+	for _, u := range ups {
+		if u.LocalCount > row[u.Counter] {
+			win.Add(int(u.Counter), u.LocalCount-row[u.Counter])
+			row[u.Counter] = u.LocalCount
+		}
+	}
+	e.frames++
+	e.entries += int64(len(ups))
+	e.version++
+	if siteEvents > e.siteEvents[site] {
+		delta := int64(siteEvents - e.siteEvents[site])
+		e.siteEvents[site] = siteEvents
+		if win.Advance(delta) > 0 {
+			e.relearnLocked()
+		}
+	}
+}
+
+// relearnLocked aggregates the per-site windows, re-runs Chow–Liu on the
+// windowed MI matrix, and publishes a new structState; the epoch bumps only
+// when the undirected edge set changed. Callers hold e.mu.
+func (e *structEngine) relearnLocked() {
+	win := e.agg
+	clear(win)
+	for _, w := range e.windows {
+		for c, v := range w.Windowed() {
+			win[c] += v
+		}
+	}
+	n := e.net.Len()
+	for p := 0; p < e.layout.NumPairs(); p++ {
+		i, j := e.layout.PairAt(p)
+		v := chowliu.MIFromCounts(e.layout.JointAt(win, p), e.net.Card(i), e.net.Card(j))
+		e.mi[i][j], e.mi[j][i] = v, v
+	}
+	parent := chowliu.TreeFromMI(e.mi)
+	e.relearns++
+
+	old := e.state.Load()
+	changed := old == nil || !sameUndirected(parent, old.parent, n)
+	epoch := uint64(1)
+	if old != nil {
+		epoch = old.epoch
+		if changed {
+			epoch++
+			e.swaps++
+		}
+	}
+
+	netw := old.netOrNil()
+	if changed || netw == nil {
+		vars := make([]bn.Variable, n)
+		for i := 0; i < n; i++ {
+			base := e.net.Var(i)
+			vars[i] = bn.Variable{Name: base.Name, Card: base.Card}
+			if parent[i] >= 0 {
+				vars[i].Parents = []int{parent[i]}
+			}
+		}
+		var err error
+		if netw, err = bn.NewNetwork(vars); err != nil {
+			// A spanning tree over validated variables cannot be cyclic;
+			// treat a construction failure as "keep the previous structure".
+			return
+		}
+	} else {
+		parent = old.parent // identical edge set: keep the old orientation too
+	}
+
+	factors, total := e.seedFactorsLocked(win, netw)
+	ns := &structState{
+		epoch:       epoch,
+		version:     e.version,
+		builtAt:     time.Now(),
+		net:         netw,
+		parent:      parent,
+		factors:     factors,
+		windowTotal: total,
+	}
+	e.state.Store(ns)
+}
+
+// netOrNil tolerates a nil receiver so the first relearn reads naturally.
+func (s *structState) netOrNil() *bn.Network {
+	if s == nil {
+		return nil
+	}
+	return s.net
+}
+
+// seedFactorsLocked materializes the learned tree's CPD estimates straight
+// from the windowed pair statistics: for a tree, a variable's pair joint
+// counts with its parent are exactly the CPT sufficient statistics, and
+// marginals come from summing any pair's table (every event increments
+// every pair, and a site's frame lands atomically, so the tables are
+// mutually consistent). Unobserved parent configurations fall back to the
+// uniform row, chowliu.LearnModel's convention. Callers hold e.mu.
+func (e *structEngine) seedFactorsLocked(win []int64, learned *bn.Network) ([][]float64, int64) {
+	n := e.net.Len()
+	marg := make([][]int64, n)
+	for i := 0; i < n; i++ {
+		ci := e.net.Card(i)
+		marg[i] = make([]int64, ci)
+		if i+1 < n {
+			joint := e.layout.JointAt(win, e.layout.PairIndex(i, i+1))
+			cj := e.net.Card(i + 1)
+			for vi := 0; vi < ci; vi++ {
+				for vj := 0; vj < cj; vj++ {
+					marg[i][vi] += joint[vi*cj+vj]
+				}
+			}
+		} else {
+			joint := e.layout.JointAt(win, e.layout.PairIndex(i-1, i))
+			cp := e.net.Card(i - 1)
+			for vp := 0; vp < cp; vp++ {
+				for vi := 0; vi < ci; vi++ {
+					marg[i][vi] += joint[vp*ci+vi]
+				}
+			}
+		}
+	}
+	var total int64
+	for _, c := range marg[0] {
+		total += c
+	}
+
+	factors := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		ci := learned.Card(i)
+		ps := learned.Parents(i)
+		if len(ps) == 0 {
+			row := make([]float64, ci)
+			for v := 0; v < ci; v++ {
+				if total > 0 {
+					row[v] = float64(marg[i][v]) / float64(total)
+				} else {
+					row[v] = 1 / float64(ci)
+				}
+			}
+			factors[i] = row
+			continue
+		}
+		p := ps[0]
+		cp := learned.Card(p)
+		tbl := make([]float64, cp*ci)
+		lo, hi := i, p
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		joint := e.layout.JointAt(win, e.layout.PairIndex(lo, hi))
+		cHi := e.net.Card(hi)
+		for pv := 0; pv < cp; pv++ {
+			den := marg[p][pv]
+			for v := 0; v < ci; v++ {
+				var c int64
+				if i < p { // joint rows indexed by X_i
+					c = joint[v*cHi+pv]
+				} else { // joint rows indexed by X_p
+					c = joint[pv*cHi+v]
+				}
+				if den > 0 {
+					tbl[pv*ci+v] = float64(c) / float64(den)
+				} else {
+					tbl[pv*ci+v] = 1 / float64(ci)
+				}
+			}
+		}
+		factors[i] = tbl
+	}
+	return factors, total
+}
+
+// sameUndirected reports whether two parent vectors describe the same
+// undirected edge set.
+func sameUndirected(a, b []int, n int) bool {
+	type edge [2]int
+	canon := func(parent []int) map[edge]bool {
+		m := make(map[edge]bool, n)
+		for i, p := range parent {
+			if p < 0 {
+				continue
+			}
+			lo, hi := i, p
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			m[edge{lo, hi}] = true
+		}
+		return m
+	}
+	ea, eb := canon(a), canon(b)
+	if len(ea) != len(eb) {
+		return false
+	}
+	for e := range ea {
+		if !eb[e] {
+			return false
+		}
+	}
+	return true
+}
+
+// stats returns the overlay's communication/learning tallies.
+func (e *structEngine) stats() StructStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := StructStats{
+		Frames:   e.frames,
+		Entries:  e.entries,
+		Relearns: e.relearns,
+		Swaps:    e.swaps,
+	}
+	if st := e.state.Load(); st != nil {
+		s.Epoch = st.epoch
+	}
+	return s
+}
+
+// AcquireLearnedSnapshot returns the current learned-structure snapshot.
+// It fails with ErrStructLearningOff when the run has no structure-learning
+// overlay and ErrNoLearnedStructure before the first learned tree — both
+// treated by the serving layer as refresh failures (degraded/unavailable),
+// so a server over a learned source comes up cleanly mid-run.
+func (co *Coordinator) AcquireLearnedSnapshot() (*LearnedSnapshot, error) {
+	if co.structs == nil {
+		return nil, ErrStructLearningOff
+	}
+	st := co.structs.state.Load()
+	if st == nil {
+		return nil, ErrNoLearnedStructure
+	}
+	return &LearnedSnapshot{s: st}, nil
+}
+
+// LearnedStructure returns the current learned tree and its structure
+// epoch; ok is false before the first learn (or with learning off).
+func (co *Coordinator) LearnedStructure() (netw *bn.Network, epoch uint64, ok bool) {
+	if co.structs == nil {
+		return nil, 0, false
+	}
+	st := co.structs.state.Load()
+	if st == nil {
+		return nil, 0, false
+	}
+	return st.net, st.epoch, true
+}
+
+// StructLearnStats returns the structure-learning overlay's tallies (zero
+// values when learning is off).
+func (co *Coordinator) StructLearnStats() StructStats {
+	if co.structs == nil {
+		return StructStats{}
+	}
+	return co.structs.stats()
+}

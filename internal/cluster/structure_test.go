@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"testing"
+	"testing/quick"
+
+	"distbayes/internal/core"
+	"distbayes/internal/netgen"
+)
+
+// TestStartConfigV4RoundTrip pins the version-4 StartConfig tail: the
+// structure-learning cadence and the drift scenario fields survive the wire,
+// including an empty drift name alongside a nonzero struct cadence.
+func TestStartConfigV4RoundTrip(t *testing.T) {
+	cfgs := []StartConfig{
+		{
+			NetName: "alarm", CPTSeed: 42, Strategy: 3, Eps: 0.1, Delta: 0.25,
+			Sites: 7, Site: 3, Events: 123456, StreamSeed: 99, LatencyMicros: 250,
+			BatchEvents: 128, StructBatchEvents: 256,
+			DriftAtEvent: 61728, DriftCPTSeed: 0xD21F, DriftNetName: "tree:12:3:58",
+		},
+		// Struct learning without drift.
+		{NetName: "alarm", Sites: 2, Events: 10, StructBatchEvents: 64},
+		// Drift without struct learning (the flat comparison run).
+		{NetName: "tree:4:2:1", Sites: 1, Events: 10, DriftAtEvent: 5,
+			DriftCPTSeed: 9, DriftNetName: "tree:4:2:2"},
+	}
+	for _, cfg := range cfgs {
+		got, err := decodeStart(encodeStart(cfg))
+		if err != nil {
+			t.Fatalf("decode %+v: %v", cfg, err)
+		}
+		if got != cfg {
+			t.Errorf("v4 start round trip: %+v != %+v", got, cfg)
+		}
+	}
+}
+
+// TestStartConfigV4QuickRoundTrip drives the v4 codec with arbitrary field
+// values (StartConfig stays ==-comparable, so quick.Check pins every field).
+func TestStartConfigV4QuickRoundTrip(t *testing.T) {
+	f := func(structBatch uint32, driftAt, driftSeed uint64, driftName string) bool {
+		cfg := StartConfig{
+			NetName: "hepar2", CPTSeed: 1, Strategy: 2, Eps: 0.25, Delta: 0.1,
+			Sites: 4, Site: 2, Events: 777, StreamSeed: 5, BatchEvents: 32,
+			StructBatchEvents: structBatch, DriftAtEvent: driftAt,
+			DriftCPTSeed: driftSeed, DriftNetName: driftName,
+		}
+		got, err := decodeStart(encodeStart(cfg))
+		return err == nil && got == cfg
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStartConfigV4AppendOnly pins backward compatibility: a config with all
+// structure-learning and drift fields zero must encode to the exact bytes a
+// pre-v4 encoder produced, so old sites keep decoding new coordinators'
+// hellos whenever the new features are off.
+func TestStartConfigV4AppendOnly(t *testing.T) {
+	cfg := StartConfig{
+		NetName: "alarm", CPTSeed: 42, Strategy: 3, Eps: 0.1, Delta: 0.25,
+		Sites: 7, Site: 3, Events: 123456, StreamSeed: 99, LatencyMicros: 250,
+		BatchEvents: 128,
+	}
+	const restV2 = 8 + 1 + 8 + 8 + 4 + 4 + 8 + 8 + 4 + 4
+	if got, want := len(encodeStart(cfg)), 4+len(cfg.NetName)+restV2; got != want {
+		t.Errorf("struct-off config encodes %d bytes, want v2 length %d", got, want)
+	}
+	v4 := cfg
+	v4.StructBatchEvents = 1
+	if got := len(encodeStart(v4)); got <= 4+len(cfg.NetName)+restV2 {
+		t.Errorf("struct-on config encodes %d bytes, want v4 tail appended", got)
+	}
+}
+
+// TestStructStatsRoundTrip pins the frameStructStats codec: uvarint site
+// position plus the delta-encoded cumulative cell counts.
+func TestStructStatsRoundTrip(t *testing.T) {
+	cases := []struct {
+		events uint64
+		ups    []Update
+	}{
+		{0, nil},
+		{1, []Update{{Counter: 0, LocalCount: 1}}},
+		{999, []Update{{Counter: 3, LocalCount: 7}, {Counter: 4, LocalCount: 1}, {Counter: 900, LocalCount: 1 << 40}}},
+	}
+	for _, c := range cases {
+		events, ups, err := decodeStructStats(nil, encodeStructStats(nil, c.events, c.ups), 1000)
+		if err != nil {
+			t.Fatalf("decode events=%d: %v", c.events, err)
+		}
+		if events != c.events || len(ups) != len(c.ups) {
+			t.Fatalf("round trip events=%d entries=%d, want %d/%d", events, len(ups), c.events, len(c.ups))
+		}
+		for i := range ups {
+			if ups[i] != c.ups[i] {
+				t.Errorf("entry %d: %+v != %+v", i, ups[i], c.ups[i])
+			}
+		}
+	}
+}
+
+func TestStructStatsRejectsMalformed(t *testing.T) {
+	good := encodeStructStats(nil, 7, []Update{{Counter: 2, LocalCount: 5}, {Counter: 9, LocalCount: 1}})
+	if _, _, err := decodeStructStats(nil, nil, 1000); err == nil {
+		t.Error("empty payload accepted")
+	}
+	if _, _, err := decodeStructStats(nil, good[:len(good)-1], 1000); err == nil {
+		t.Error("truncated payload accepted")
+	}
+	if _, _, err := decodeStructStats(nil, append(good[:len(good):len(good)], 0), 1000); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Cell id 9 is out of range for a 5-cell layout.
+	if _, _, err := decodeStructStats(nil, good, 5); err == nil {
+		t.Error("out-of-range cell id accepted")
+	}
+}
+
+// TestStructLayout pins the pairwise cell layout: every (pair, value, value)
+// combination maps to a distinct cell, the cells exactly tile the count
+// vector, and Accumulate bumps one cell per pair per event.
+func TestStructLayout(t *testing.T) {
+	netw, err := netgen.ByName("tree:5:3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewStructLayout(netw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := netw.Len()
+	if want := n * (n - 1) / 2; l.NumPairs() != want {
+		t.Fatalf("NumPairs = %d, want %d", l.NumPairs(), want)
+	}
+	seen := make(map[uint32]bool)
+	for p := 0; p < l.NumPairs(); p++ {
+		i, j := l.PairAt(p)
+		if i >= j || l.PairIndex(i, j) != p {
+			t.Fatalf("pair %d: PairAt/PairIndex disagree (%d,%d)", p, i, j)
+		}
+		for vi := 0; vi < netw.Card(i); vi++ {
+			for vj := 0; vj < netw.Card(j); vj++ {
+				id := l.CellID(i, vi, j, vj)
+				if id >= l.Cells() || seen[id] {
+					t.Fatalf("cell id %d invalid or duplicated", id)
+				}
+				seen[id] = true
+			}
+		}
+	}
+	if len(seen) != int(l.Cells()) {
+		t.Fatalf("layout covered %d cells, want %d", len(seen), l.Cells())
+	}
+
+	counts := make([]int64, l.Cells())
+	x := []int{1, 0, 2, 2, 1}
+	l.Accumulate(counts, x)
+	l.Accumulate(counts, x)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if want := int64(2 * l.NumPairs()); total != want {
+		t.Fatalf("Accumulate added %d counts, want %d", total, want)
+	}
+	for p := 0; p < l.NumPairs(); p++ {
+		i, j := l.PairAt(p)
+		joint := l.JointAt(counts, p)
+		if got := joint[x[i]*netw.Card(j)+x[j]]; got != 2 {
+			t.Fatalf("pair (%d,%d): joint cell = %d, want 2", i, j, got)
+		}
+	}
+}
+
+// TestStructOverlayLeavesFlatEstimatesIdentical runs the same stream with
+// structure learning off and on: the overlay must not perturb the flat
+// counter protocol — every coordinator estimate stays bit-identical — while
+// the struct-on run additionally produces a learned structure.
+func TestStructOverlayLeavesFlatEstimatesIdentical(t *testing.T) {
+	cfg := Config{
+		NetName: "tree:8:3:5", CPTSeed: 0xC0DE, Strategy: core.ExactMLE,
+		Sites: 3, Events: 3000, StreamSeed: 11,
+	}
+	_, off, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onCfg := cfg
+	onCfg.StructBatchEvents = 128
+	_, on, err := RunLocal(onCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout, err := NewLayout(off.Network(), core.ExactMLE, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id := uint32(0); id < layout.NumCounters(); id++ {
+		if a, b := off.Estimate(id), on.Estimate(id); a != b {
+			t.Fatalf("counter %d: struct-off %v != struct-on %v", id, a, b)
+		}
+	}
+	if _, _, ok := off.LearnedStructure(); ok {
+		t.Error("struct-off run reports a learned structure")
+	}
+	if _, err := off.AcquireLearnedSnapshot(); err == nil {
+		t.Error("struct-off AcquireLearnedSnapshot succeeded")
+	}
+	netw, epoch, ok := on.LearnedStructure()
+	if !ok || netw == nil || epoch == 0 {
+		t.Fatalf("struct-on run has no learned structure (ok=%v epoch=%d)", ok, epoch)
+	}
+	snap, err := on.AcquireLearnedSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer snap.Release()
+	if snap.StructureEpoch() != epoch {
+		t.Errorf("snapshot epoch %d != %d", snap.StructureEpoch(), epoch)
+	}
+	if _, err := snap.Model(); err != nil {
+		t.Errorf("learned snapshot model: %v", err)
+	}
+}

@@ -50,5 +50,13 @@ func (s *Snapshot) Model() (*bn.Model, error) {
 	return s.co.modelFor(s.s)
 }
 
+// Network returns the tracked base network — fixed for the run; the
+// learned-structure view is LearnedSnapshot, not this.
+func (s *Snapshot) Network() *bn.Network { return s.co.net }
+
+// StructureEpoch is always 0: the flat coordinator snapshot tracks the
+// configured base structure, which never changes.
+func (s *Snapshot) StructureEpoch() uint64 { return 0 }
+
 // Release is a no-op: estimate snapshots carry no pooled resources.
 func (s *Snapshot) Release() {}

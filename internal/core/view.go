@@ -52,6 +52,14 @@ func (s *Snapshot) Model() (*bn.Model, error) {
 	return s.s.normalizedModel(s.t.net)
 }
 
+// Network returns the tracked network — fixed for the tracker's lifetime.
+func (s *Snapshot) Network() *bn.Network { return s.t.net }
+
+// StructureEpoch is always 0: an in-process tracker tracks a fixed
+// configured structure (learned-structure snapshots live in
+// internal/cluster).
+func (s *Snapshot) StructureEpoch() uint64 { return 0 }
+
 // Release drops the reference; the last drop recycles the snapshot's
 // factor rows.
 func (s *Snapshot) Release() { s.t.releaseSnap(s.s) }

@@ -2,6 +2,7 @@ package decay
 
 import (
 	"fmt"
+	"sync"
 
 	"distbayes/internal/bn"
 	"distbayes/internal/counter"
@@ -14,12 +15,22 @@ import (
 // slides with a granularity of one block — the classic block-based
 // approximation of sliding-window streaming (error ≤ one block's worth of
 // events at the trailing edge).
+//
+// A WindowBank and its counters are safe for concurrent use: one bank-level
+// mutex serializes Tick's block rotation against concurrent Inc/Estimate/
+// Exact from striped or delta-buffered ingestion goroutines, and against
+// counter registration through Factory. (Unlike the exponential Bank, whose
+// Tick must still be quiesced per the package comment, a window Tick may
+// race ingestion — an increment lands in either the closing or the opening
+// block, both valid positions inside the window.)
 type WindowBank struct {
 	blockEvents int64
 	blocks      int
 	sites       int
-	counters    []*WindowCounter
-	ticks       int64
+
+	mu       sync.Mutex // guards counters, ticks, and every counter's blocks
+	counters []*WindowCounter
+	ticks    int64
 }
 
 // NewWindowBank creates a bank whose counters cover approximately
@@ -46,6 +57,8 @@ func NewWindowBank(windowEvents int64, blocks, sites int) (*WindowBank, error) {
 func (b *WindowBank) Factory() func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error) {
 	return func(eps float64, metrics *counter.Metrics, rng *bn.RNG) (counter.Counter, error) {
 		c := &WindowCounter{bank: b, eps: eps, metrics: metrics, rng: rng}
+		b.mu.Lock()
+		defer b.mu.Unlock()
 		if err := c.rotate(); err != nil {
 			return nil, err
 		}
@@ -57,6 +70,8 @@ func (b *WindowBank) Factory() func(eps float64, metrics *counter.Metrics, rng *
 // Tick advances the global event clock; a block boundary rotates every
 // counter.
 func (b *WindowBank) Tick() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	b.ticks++
 	if b.ticks%b.blockEvents != 0 {
 		return nil
@@ -70,10 +85,14 @@ func (b *WindowBank) Tick() error {
 }
 
 // Ticks returns the number of events seen.
-func (b *WindowBank) Ticks() int64 { return b.ticks }
+func (b *WindowBank) Ticks() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.ticks
+}
 
 // WindowCounter is one sliding-window distributed counter; it implements
-// counter.Counter.
+// counter.Counter. Safe for concurrent use through the owning bank's mutex.
 type WindowCounter struct {
 	bank    *WindowBank
 	eps     float64
@@ -89,6 +108,7 @@ type closedBlock struct {
 	tru int64
 }
 
+// rotate closes the live block; callers must hold bank.mu.
 func (c *WindowCounter) rotate() error {
 	if c.live != nil {
 		c.closed = append([]closedBlock{{est: c.live.Estimate(), tru: c.live.Exact()}}, c.closed...)
@@ -109,11 +129,17 @@ func (c *WindowCounter) rotate() error {
 }
 
 // Inc implements counter.Counter.
-func (c *WindowCounter) Inc(site int) { c.live.Inc(site) }
+func (c *WindowCounter) Inc(site int) {
+	c.bank.mu.Lock()
+	defer c.bank.mu.Unlock()
+	c.live.Inc(site)
+}
 
 // Estimate implements counter.Counter: the sum of the live block and the
 // retained closed blocks.
 func (c *WindowCounter) Estimate() float64 {
+	c.bank.mu.Lock()
+	defer c.bank.mu.Unlock()
 	e := c.live.Estimate()
 	for _, b := range c.closed {
 		e += b.est
@@ -123,6 +149,8 @@ func (c *WindowCounter) Estimate() float64 {
 
 // Exact implements counter.Counter: the true in-window count.
 func (c *WindowCounter) Exact() int64 {
+	c.bank.mu.Lock()
+	defer c.bank.mu.Unlock()
 	t := c.live.Exact()
 	for _, b := range c.closed {
 		t += b.tru

@@ -2,6 +2,7 @@ package netgen
 
 import (
 	"fmt"
+	"strings"
 
 	"distbayes/internal/bn"
 )
@@ -154,8 +155,21 @@ func RandomDAG(n int, cards []int, edgeProb float64, maxInDegree int, seed uint6
 // Names lists the registry of Table I network names.
 func Names() []string { return []string{"alarm", "hepar2", "link", "munin", "new-alarm"} }
 
-// ByName returns the network for a Table I name (see Names).
+// ByName returns the network for a Table I name (see Names), or a
+// parameterized random tree for a "tree:<n>:<card>:<seed>" name. Tree names
+// are what the drift experiments use: two trees of the same n and card (any
+// seeds) have identical variable names and cardinalities and differ only in
+// structure, and the name is enough for both ends of a cluster to
+// regenerate the network deterministically — structure never travels.
 func ByName(name string) (*bn.Network, error) {
+	if rest, ok := strings.CutPrefix(name, "tree:"); ok {
+		var n, card int
+		var seed uint64
+		if _, err := fmt.Sscanf(rest, "%d:%d:%d", &n, &card, &seed); err != nil {
+			return nil, fmt.Errorf("netgen: bad tree name %q, want tree:<n>:<card>:<seed>", name)
+		}
+		return Tree(n, card, seed)
+	}
 	switch name {
 	case "alarm":
 		return Generate(Alarm)
@@ -168,7 +182,7 @@ func ByName(name string) (*bn.Network, error) {
 	case "new-alarm":
 		return NewAlarm()
 	default:
-		return nil, fmt.Errorf("netgen: unknown network %q (known: %v)", name, Names())
+		return nil, fmt.Errorf("netgen: unknown network %q (known: %v, tree:<n>:<card>:<seed>)", name, Names())
 	}
 }
 

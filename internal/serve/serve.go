@@ -484,6 +484,10 @@ type envelope struct {
 type snapInfo struct {
 	Version   uint64 `json:"version"`
 	AgeMicros int64  `json:"age_us"`
+	// StructureEpoch counts hot structure swaps behind the source (0 for
+	// fixed-structure sources); a client that sees it change knows the
+	// answer came from a freshly learned structure.
+	StructureEpoch uint64 `json:"structure_epoch,omitempty"`
 	// Degraded marks an answer served from the last-good snapshot while
 	// the source is failing: still consistent and version-monotone, but
 	// no fresher estimate exists until the source recovers.
@@ -492,9 +496,10 @@ type snapInfo struct {
 
 func (s *Server) snapInfoFor(c *cachedSnap, degraded bool) snapInfo {
 	return snapInfo{
-		Version:   c.snap.Version(),
-		AgeMicros: time.Since(c.snap.BuiltAt()).Microseconds(),
-		Degraded:  degraded,
+		Version:        c.snap.Version(),
+		AgeMicros:      time.Since(c.snap.BuiltAt()).Microseconds(),
+		StructureEpoch: c.snap.StructureEpoch(),
+		Degraded:       degraded,
 	}
 }
 
@@ -614,29 +619,35 @@ func (s *Server) fail(w http.ResponseWriter, code int, err error) {
 // snapshot factors in ascending variable order — the same order and the
 // same float64 values Tracker.QueryProb multiplies, so answers from a
 // tracker source are bit-identical to in-process queries against the same
-// snapshot.
+// snapshot. Parent sets resolve against the snapshot's own network, so a
+// learned-structure snapshot evaluates under its own (possibly swapped)
+// tree.
 func (s *Server) queryProb(body []byte, snap Snapshot) (any, error) {
-	x, err := decodeFullAssignment(s.net, s.names, body)
+	netw := snap.Network()
+	x, err := decodeFullAssignment(netw, s.names, body)
 	if err != nil {
 		return nil, err
 	}
 	p := 1.0
-	for i := 0; i < s.net.Len(); i++ {
-		p *= snap.Factor(i, x[i], s.net.ParentIndex(i, x))
+	for i := 0; i < netw.Len(); i++ {
+		p *= snap.Factor(i, x[i], netw.ParentIndex(i, x))
 	}
 	return probResult{P: p}, nil
 }
 
 // subsetProb answers the marginal of an ancestrally closed subset, which
 // factorizes exactly over the member CPDs (Tracker.QuerySubsetProb).
+// Ancestral closure is checked against the snapshot's own network — under
+// a learned-structure source the closed sets can change across a hot swap.
 func (s *Server) subsetProb(body []byte, snap Snapshot) (any, error) {
-	set, x, err := decodeSubsetAssignment(s.net, s.names, body)
+	netw := snap.Network()
+	set, x, err := decodeSubsetAssignment(netw, s.names, body)
 	if err != nil {
 		return nil, err
 	}
 	p := 1.0
 	for _, i := range set {
-		p *= snap.Factor(i, x[i], s.net.ParentIndex(i, x))
+		p *= snap.Factor(i, x[i], netw.ParentIndex(i, x))
 	}
 	return probResult{P: p}, nil
 }
@@ -646,16 +657,17 @@ func (s *Server) subsetProb(body []byte, snap Snapshot) (any, error) {
 // factors vary with y, all read from one snapshot. Ties break toward the
 // smaller value, like the tracker.
 func (s *Server) classify(body []byte, snap Snapshot) (any, error) {
-	target, x, err := decodeClassify(s.net, s.names, body)
+	netw := snap.Network()
+	target, x, err := decodeClassify(netw, s.names, body)
 	if err != nil {
 		return nil, err
 	}
 	best, bestScore := 0, math.Inf(-1)
-	for y := 0; y < s.net.Card(target); y++ {
+	for y := 0; y < netw.Card(target); y++ {
 		x[target] = y
-		score := logOrNegInf(snap.Factor(target, y, s.net.ParentIndex(target, x)))
-		for _, c := range s.net.Children(target) {
-			score += logOrNegInf(snap.Factor(c, x[c], s.net.ParentIndex(c, x)))
+		score := logOrNegInf(snap.Factor(target, y, netw.ParentIndex(target, x)))
+		for _, c := range netw.Children(target) {
+			score += logOrNegInf(snap.Factor(c, x[c], netw.ParentIndex(c, x)))
 		}
 		if score > bestScore {
 			best, bestScore = y, score
@@ -674,7 +686,8 @@ func logOrNegInf(p float64) float64 {
 // classifyPartial predicts the target from partial evidence by exact
 // inference on the snapshot's normalized model (Tracker.ClassifyPartial).
 func (s *Server) classifyPartial(body []byte, snap Snapshot) (any, error) {
-	target, ev, err := decodeClassifyPartial(s.net, s.names, body)
+	netw := snap.Network()
+	target, ev, err := decodeClassifyPartial(netw, s.names, body)
 	if err != nil {
 		return nil, err
 	}
@@ -683,7 +696,7 @@ func (s *Server) classifyPartial(body []byte, snap Snapshot) (any, error) {
 		return nil, err
 	}
 	best, bestP := 0, -1.0
-	for y := 0; y < s.net.Card(target); y++ {
+	for y := 0; y < netw.Card(target); y++ {
 		p, err := m.ConditionalProb(map[int]int{target: y}, ev)
 		if err != nil {
 			return nil, err
@@ -698,7 +711,7 @@ func (s *Server) classifyPartial(body []byte, snap Snapshot) (any, error) {
 // marginal answers an arbitrary marginal P[assign] by exact inference on
 // the snapshot's normalized model (Tracker.InferMarginal).
 func (s *Server) marginal(body []byte, snap Snapshot) (any, error) {
-	assign, err := decodeMarginal(s.net, s.names, body)
+	assign, err := decodeMarginal(snap.Network(), s.names, body)
 	if err != nil {
 		return nil, err
 	}
@@ -747,13 +760,14 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m, err := c.snap.Model()
+	netw := c.snap.Network() // the snapshot's own (possibly learned) structure
 	info := s.snapInfoFor(c, degraded)
 	s.releaseRef(c)
 	if err != nil {
 		s.fail(w, http.StatusInternalServerError, err)
 		return
 	}
-	vars := make([]modelVar, s.net.Len())
+	vars := make([]modelVar, netw.Len())
 	for i := range vars {
 		cpd := m.CPD(i)
 		tbl := make([]float64, 0, cpd.Card()*cpd.ParentCard())
@@ -761,9 +775,9 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 			tbl = append(tbl, cpd.Row(pidx)...)
 		}
 		vars[i] = modelVar{
-			Name:    s.net.Var(i).Name,
-			Card:    s.net.Card(i),
-			Parents: s.net.Parents(i),
+			Name:    netw.Var(i).Name,
+			Card:    netw.Card(i),
+			Parents: netw.Parents(i),
 			CPT:     tbl,
 		}
 	}

@@ -24,6 +24,18 @@ type Snapshot interface {
 	Version() uint64
 	BuiltAt() time.Time
 	Model() (*bn.Model, error)
+	// Network is the structure the factors are parameters of. Fixed-
+	// structure sources return the tracked network on every snapshot; a
+	// learned-structure source (NewLearnedCoordinatorSource) may return a
+	// different structure over the same variables after a hot swap, and all
+	// of a snapshot's factors are consistent with its own network.
+	Network() *bn.Network
+	// StructureEpoch counts structure changes behind the snapshot: fixed at
+	// 0 for fixed-structure sources, bumped at every hot structure swap by
+	// learning sources. Exposed to clients in the response envelope's
+	// snapshot block so they can detect swaps; it is non-decreasing per
+	// source, like Version.
+	StructureEpoch() uint64
 	Release()
 }
 
@@ -72,6 +84,31 @@ func (s coordinatorSource) AcquireSnapshot() (Snapshot, error) {
 		return nil, fmt.Errorf("serve: coordinator source: %w", err)
 	}
 	return s.co.AcquireSnapshot(), nil
+}
+
+type learnedSource struct{ co *cluster.Coordinator }
+
+// NewLearnedCoordinatorSource serves queries from a coordinator's *learned*
+// structure — the online distributed Chow–Liu tree — instead of the fixed
+// base DAG. Snapshots carry the learned tree itself (Network differs across
+// structure swaps) with parameters seeded from the same windowed pair
+// statistics, and StructureEpoch bumps at every swap; Version stays
+// monotone across swaps, so the per-client consistency contract is
+// unchanged. Before the first learned tree lands (or if the run was started
+// without structure learning) AcquireSnapshot fails, which the server
+// surfaces as unavailable/degraded — the documented cold-start behavior.
+func NewLearnedCoordinatorSource(co *cluster.Coordinator) ModelSource { return learnedSource{co} }
+
+func (s learnedSource) Network() *bn.Network { return s.co.Network() }
+func (s learnedSource) AcquireSnapshot() (Snapshot, error) {
+	if err := s.co.Err(); err != nil {
+		return nil, fmt.Errorf("serve: learned source: %w", err)
+	}
+	snap, err := s.co.AcquireLearnedSnapshot()
+	if err != nil {
+		return nil, fmt.Errorf("serve: learned source: %w", err)
+	}
+	return snap, nil
 }
 
 // SwappableSource is a ModelSource whose back end can be replaced while
@@ -128,9 +165,10 @@ func (s *SwappableSource) AcquireSnapshot() (Snapshot, error) {
 	return &offsetSnapshot{Snapshot: snap, off: off}, nil
 }
 
-// Swap replaces the back end. The replacement must serve the same network
-// shape (variable names, cardinalities, parent sets); snapshots acquired
-// before the swap stay valid until released.
+// Swap replaces the back end. The replacement must serve the same
+// variables (names and cardinalities); its structure may differ — snapshots
+// carry their own Network, so a learned-structure replacement serves
+// correctly. Snapshots acquired before the swap stay valid until released.
 func (s *SwappableSource) Swap(next ModelSource) error {
 	if next == nil {
 		return fmt.Errorf("serve: Swap(nil)")
@@ -145,8 +183,12 @@ func (s *SwappableSource) Swap(next ModelSource) error {
 	return nil
 }
 
-// sameShape checks two networks describe the same variables — the
-// precondition for serving their snapshots interchangeably.
+// sameShape checks two networks describe the same variables (names and
+// cardinalities) — the precondition for serving their snapshots
+// interchangeably. Structure is deliberately not compared: queries resolve
+// parent sets against each snapshot's own Network, so sources whose
+// structure differs (or changes over time, as with learned structure) swap
+// safely as long as the variables match.
 func sameShape(a, b *bn.Network) error {
 	if b == nil {
 		return fmt.Errorf("nil network")
@@ -158,15 +200,6 @@ func sameShape(a, b *bn.Network) error {
 		if a.Var(i).Name != b.Var(i).Name || a.Card(i) != b.Card(i) {
 			return fmt.Errorf("variable %d is %s(card %d), want %s(card %d)",
 				i, b.Var(i).Name, b.Card(i), a.Var(i).Name, a.Card(i))
-		}
-		ap, bp := a.Parents(i), b.Parents(i)
-		if len(ap) != len(bp) {
-			return fmt.Errorf("variable %d has %d parents, want %d", i, len(bp), len(ap))
-		}
-		for j := range ap {
-			if ap[j] != bp[j] {
-				return fmt.Errorf("variable %d parent %d differs", i, j)
-			}
 		}
 	}
 	return nil

@@ -149,11 +149,16 @@ func (e *Estimator) Update(x []int) {
 }
 
 // CPD estimates P[X_i = v | parent config pidx] from the sketches, clamped
-// to [0, 1] (overcounts can push the raw ratio above 1).
+// to [0, 1] (overcounts can push the raw ratio above 1). A parent
+// configuration with no observed mass falls back to the uniform
+// 1/Card(i) — the same zero-row handling as chowliu.LearnModel — so
+// QuerySubsetProb degrades to an uninformative factor on unseen parent
+// configs instead of multiplying the whole product to a hard 0, matching
+// the tracker's smoothed estimates in spirit.
 func (e *Estimator) CPD(i, v, pidx int) float64 {
 	den := e.par[i].Count(uint64(pidx))
 	if den == 0 {
-		return 0
+		return 1 / float64(e.net.Card(i))
 	}
 	num := e.pair[i].Count(uint64(pidx)*uint64(e.net.Card(i)) + uint64(v))
 	p := float64(num) / float64(den)

@@ -146,3 +146,38 @@ func TestEstimatorCPDInRange(t *testing.T) {
 		t.Error("frequent cell estimated as zero")
 	}
 }
+
+// TestEstimatorCPDUnseenParentUniform pins the zero-denominator fix: a
+// parent configuration with no observed mass must fall back to the uniform
+// 1/Card(i) instead of returning a hard 0 (which would zero out every
+// QuerySubsetProb touching the unseen config).
+func TestEstimatorCPDUnseenParentUniform(t *testing.T) {
+	net := bn.MustNetwork([]bn.Variable{
+		{Name: "A", Card: 2},
+		{Name: "B", Card: 4, Parents: []int{0}},
+	})
+	est, err := NewEstimator(net, 256, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh estimator has seen nothing: every CPD is the uniform fallback.
+	for v := 0; v < 4; v++ {
+		if got := est.CPD(1, v, 0); got != 0.25 {
+			t.Errorf("unseen CPD(1,%d,0) = %v, want 0.25", v, got)
+		}
+	}
+	// Only A=0 is ever observed; the A=1 parent row stays unseen.
+	for i := 0; i < 100; i++ {
+		est.Update([]int{0, i % 4})
+	}
+	if got := est.CPD(1, 2, 1); got != 0.25 {
+		t.Errorf("unseen parent row CPD = %v, want uniform 0.25", got)
+	}
+	if got := est.CPD(1, 1, 0); got != 0.25 {
+		t.Errorf("seen parent row CPD = %v, want 0.25 from counts", got)
+	}
+	// The product query through the unseen config must not collapse to 0.
+	if got := est.QuerySubsetProb([]int{1}, []int{1, 2}); got == 0 {
+		t.Error("QuerySubsetProb through unseen parent config = 0")
+	}
+}
