@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 	"testing"
+	"time"
 
 	"distbayes/internal/bn"
 	"distbayes/internal/cluster"
@@ -521,6 +522,67 @@ func BenchmarkClusterThroughput(b *testing.B) {
 	b.Run("sharded", func(b *testing.B) { run(b, 4, 0, 0) })
 	b.Run("sharded+batched", func(b *testing.B) { run(b, 4, 128, 0) })
 	b.Run("sharded+batched+live", func(b *testing.B) { run(b, 4, 128, 200) })
+	// The same best configuration with the scheduler actually parallel:
+	// sites, shards, and the coordinator read loops get real cores.
+	b.Run("sharded+batched+procs=4", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		run(b, 4, 128, 0)
+	})
+}
+
+// BenchmarkFederationThroughput measures what the aggregation tree buys at
+// the root: the same batched loopback cluster run flat (branching=1, sites
+// dial the coordinator directly) and through depth-2 relay trees with
+// branching 4 and 8. Relays fold site frames into one coalesced grouped
+// frame per cadence, so root-frames/sec divides by roughly the branching
+// factor while estimates stay bit-identical (the fold is an idempotent
+// max-merge of per-site monotone vectors); fold-ratio reports site frames
+// per root frame. Like the cluster benchmark, a procs=4 variant runs the
+// branching-4 tree with the scheduler parallel.
+func BenchmarkFederationThroughput(b *testing.B) {
+	run := func(b *testing.B, branching int) {
+		var rootFrames, siteFrames, events int64
+		for i := 0; i < b.N; i++ {
+			cfg := cluster.Config{
+				NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+				Eps: 0.1, Sites: 8, Events: 16000, StreamSeed: uint64(i + 1),
+				SiteBatchEvents: 128,
+			}
+			if branching <= 1 {
+				res, _, err := cluster.RunLocal(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rootFrames += res.Stats.Frames
+				siteFrames += res.Stats.Frames
+				events += res.Stats.Events
+			} else {
+				res, _, relays, err := cluster.RunLocalTree(cfg, branching, 50*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rootFrames += res.Stats.Frames
+				for _, r := range relays {
+					siteFrames += r.DownFrames.Load()
+				}
+				events += res.Stats.Events
+			}
+		}
+		sec := b.Elapsed().Seconds()
+		b.ReportMetric(float64(events)/sec, "events/sec")
+		b.ReportMetric(float64(rootFrames)/sec, "root-frames/sec")
+		if rootFrames > 0 {
+			b.ReportMetric(float64(siteFrames)/float64(rootFrames), "fold-ratio")
+		}
+		b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	}
+	b.Run("branching=1", func(b *testing.B) { run(b, 1) })
+	b.Run("branching=4", func(b *testing.B) { run(b, 4) })
+	b.Run("branching=8", func(b *testing.B) { run(b, 8) })
+	b.Run("branching=4+procs=4", func(b *testing.B) {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+		run(b, 4)
+	})
 }
 
 // BenchmarkStructLearnOverhead isolates what the online structure-learning

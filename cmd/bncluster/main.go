@@ -1,14 +1,31 @@
 // Command bncluster runs the live distributed-monitoring system over TCP.
-// The same binary plays three roles:
+// The same binary plays four roles:
 //
 //	bncluster -role coord -addr :7070 -net alarm -strategy nonuniform -sites 4 -events 500000
 //	bncluster -role site  -addr host:7070 -id 0       (one per site, ids 0..k-1)
+//	bncluster -role relay -addr :7071 -parent host:7070 -relay 0
 //	bncluster -role local -net alarm -sites 4 -events 500000
 //
 // The coordinator accepts k sites, distributes the run configuration, and
 // prints runtime, throughput and message statistics when the stream is
 // exhausted — the measurements behind Figures 7 and 8 of the paper. The
 // "local" role runs everything in one process over loopback for convenience.
+//
+// Hierarchical federation (see the README's Federation section):
+//
+//   - A relay (-role relay) is a mid-tier node of the aggregation tree:
+//     sites dial it exactly as they would the coordinator, it folds their
+//     frames locally, and it ships one coalesced frame per cadence to
+//     -parent — dividing the root coordinator's frame rate by the branching
+//     factor with bit-identical final estimates. Relays stack: a relay's
+//     -parent may be another relay. -tree N runs a depth-2 tree with
+//     branching N inside the local role.
+//   - A striped coordinator (-stripe k/of on the coord role) owns only its
+//     share of the counter-id space; start "of" coordinators with stripes
+//     0/of .. (of-1)/of and give every site the comma-separated list of all
+//     stripe addresses in -addr. -stripes K runs a K-stripe federation
+//     inside the local role, serving queries through the scatter-gather
+//     merge.
 //
 // -shards stripes the coordinator's reported-count matrix so the per-site
 // reader goroutines ingest in parallel, -batch switches the sites to
@@ -52,8 +69,8 @@ import (
 
 func main() {
 	var (
-		role     = flag.String("role", "local", "coord | site | local")
-		addr     = flag.String("addr", "127.0.0.1:7070", "coordinator address (listen or dial)")
+		role     = flag.String("role", "local", "coord | site | relay | local")
+		addr     = flag.String("addr", "127.0.0.1:7070", "coordinator address (listen or dial); role=site accepts a comma-separated stripe list")
 		id       = flag.Uint("id", 0, "site id (role=site)")
 		netName  = flag.String("net", "alarm", "network name (see bngen -list)")
 		strategy = flag.String("strategy", "nonuniform", "exact | baseline | uniform | nonuniform")
@@ -82,6 +99,13 @@ func main() {
 		driftNet     = flag.String("drift-net", "", "switch the generating network to this one mid-stream (same variables; the drift scenario)")
 		driftAfter   = flag.Float64("drift-after", 0, "fraction of each site's stream after which -drift-net takes over (0 = 0.5)")
 		serveLearned = flag.Bool("serve-learned", false, "serve queries from the learned structure instead of the base network (requires -struct-batch and -serve)")
+
+		relayID = flag.Uint("relay", 0, "relay id (role=relay)")
+		parent  = flag.String("parent", "", "relay upstream address: the coordinator or another relay (role=relay)")
+		flush   = flag.Duration("flush", 0, "relay upstream flush staleness bound (role=relay; 0 = default)")
+		stripe  = flag.String("stripe", "", "stripe spec k/of: this coordinator owns stripe k of a federation of `of` (role=coord)")
+		tree    = flag.Int("tree", 0, "run a depth-2 aggregation tree with this branching factor (role=local; 0 = flat)")
+		stripes = flag.Int("stripes", 0, "run a striped coordinator federation with this many stripes (role=local; 0 = flat)")
 	)
 	flag.Parse()
 
@@ -117,6 +141,13 @@ func main() {
 	if *ckpt != "" {
 		cfg.CheckpointPath = *ckpt
 		cfg.CheckpointEveryFrames = *ckptN
+	}
+	if *stripe != "" {
+		var k, of int
+		if n, err := fmt.Sscanf(*stripe, "%d/%d", &k, &of); err != nil || n != 2 {
+			fatal(fmt.Errorf("bad -stripe %q, want k/of (e.g. 0/4)", *stripe))
+		}
+		cfg.StripeIndex, cfg.StripeCount = k, of
 	}
 
 	switch *role {
@@ -159,12 +190,75 @@ func main() {
 		reportStruct(co)
 		finishServer(srv, *probe, *probeTO)
 	case "site":
+		if addrs := strings.Split(*addr, ","); len(addrs) > 1 {
+			// A comma-separated address list is a striped federation: one
+			// stream, reports routed to the owning stripe coordinators.
+			sts, err := cluster.NewFederatedSite(uint32(*id), addrs).Run()
+			if err != nil {
+				fatal(err)
+			}
+			for s, st := range sts {
+				fmt.Printf("site %d done: stripe %d stats %+v\n", *id, s, st)
+			}
+			return
+		}
 		st, err := cluster.NewSite(uint32(*id), *addr).Run()
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("site %d done: cluster stats %+v\n", *id, st)
+	case "relay":
+		if *parent == "" {
+			fatal(fmt.Errorf("role=relay requires -parent"))
+		}
+		r, err := cluster.NewRelay(cluster.RelayConfig{
+			ID:            uint32(*relayID),
+			Parent:        *parent,
+			FlushInterval: *flush,
+		}, *addr)
+		if err != nil {
+			fatal(err)
+		}
+		defer r.Close()
+		fmt.Printf("relay %d listening on %s, parent %s\n", *relayID, r.Addr(), *parent)
+		if err := r.Run(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("relay %d: folded %d downstream frames into %d upstream frames\n",
+			*relayID, r.DownFrames.Load(), r.UpFrames.Load())
 	case "local":
+		if *tree > 0 && *stripes > 0 {
+			fatal(fmt.Errorf("-tree and -stripes are mutually exclusive (stack them with separate processes)"))
+		}
+		if *tree > 0 {
+			res, co, relays, err := cluster.RunLocalTree(cfg, *tree, *flush)
+			if err != nil {
+				fatal(err)
+			}
+			defer co.Close()
+			report(res)
+			var down, up int64
+			for _, r := range relays {
+				down += r.DownFrames.Load()
+				up += r.UpFrames.Load()
+			}
+			fmt.Printf("tree        %d relays folded %d site frames into %d root frames\n",
+				len(relays), down, up)
+			finishServer(attachServer(co, *serveOn, *serveCC, *serveDeg, *serveLearned), *probe, *probeTO)
+			return
+		}
+		if *stripes > 0 {
+			res, fed, err := cluster.RunLocalFederation(cfg, *stripes)
+			if err != nil {
+				fatal(err)
+			}
+			report(res)
+			fmt.Printf("stripes     %d coordinators, scatter-gather query plane\n", *stripes)
+			// The federation stays queryable after the run; the server
+			// fronts it through the scatter-gather merged source.
+			finishServer(attachFederatedServer(fed, *serveOn, *serveCC, *serveDeg), *probe, *probeTO)
+			return
+		}
 		res, co, err := cluster.RunLocal(cfg)
 		if err != nil {
 			fatal(err)
@@ -196,6 +290,27 @@ func attachServer(co *cluster.Coordinator, addr string, maxConcurrent int, degra
 	}
 	srv, err := serve.New(serve.Config{
 		Source:         src,
+		MaxConcurrent:  maxConcurrent,
+		MaxDegradedAge: degradedAge,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(addr); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bncluster: query server on %s\n", srv.Addr())
+	return srv
+}
+
+// attachFederatedServer starts the HTTP query front end over a striped
+// federation's scatter-gather merge — same server, different source.
+func attachFederatedServer(fed *cluster.Federation, addr string, maxConcurrent int, degradedAge time.Duration) *serve.Server {
+	if addr == "" {
+		return nil
+	}
+	srv, err := serve.New(serve.Config{
+		Source:         serve.NewFederatedSource(fed),
 		MaxConcurrent:  maxConcurrent,
 		MaxDegradedAge: degradedAge,
 	})
@@ -289,15 +404,21 @@ func report(res cluster.Result) {
 }
 
 // reportStruct prints the structure-learning summary when the run had the
-// online Chow-Liu overlay enabled (a no-op otherwise).
+// online Chow-Liu overlay enabled (a no-op otherwise). The fold counters
+// print whenever the overlay was on — even if no tree was learned yet, so a
+// short run still shows how many struct frames were folded — and the
+// learned-tree line only once a structure actually landed.
 func reportStruct(co *cluster.Coordinator) {
-	netw, epoch, ok := co.LearnedStructure()
-	if !ok {
+	if !co.StructLearning() {
 		return
 	}
 	ss := co.StructLearnStats()
 	fmt.Printf("struct-frames   %d (%d pair-count entries)\n", ss.Frames, ss.Entries)
-	fmt.Printf("struct-relearns %d (%d swaps, epoch %d)\n", ss.Relearns, ss.Swaps, epoch)
+	fmt.Printf("struct-relearns %d (%d swaps, epoch %d)\n", ss.Relearns, ss.Swaps, ss.Epoch)
+	netw, _, ok := co.LearnedStructure()
+	if !ok {
+		return
+	}
 	var sb strings.Builder
 	for i := 0; i < netw.Len(); i++ {
 		for _, p := range netw.Parents(i) {

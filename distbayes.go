@@ -158,6 +158,22 @@
 // bit-identical to the uninterrupted run under severed connections,
 // duplicated frames and process kills. See the cluster package
 // documentation and cmd/bncluster.
+//
+// Past one coordinator's capacity the cluster federates, exactly, in two
+// composable directions. An aggregation tree (cluster.Relay, cmd/bncluster
+// -role relay) places relays between sites and the root: each relay folds
+// its children's frames into per-site monotone vectors with the same
+// idempotent max-merge the coordinator uses and ships one coalesced grouped
+// frame upstream per cadence, dividing root frame load by roughly the
+// branching factor at bit-identical estimates; relays hold no durable
+// state, so site resume-replay heals severed uplinks and relay restarts.
+// Striped federation (cluster.Config.StripeIndex/StripeCount,
+// cluster.FederatedSite, cluster.Federation) partitions the flat counter-id
+// space across K coordinator processes; sites route each report to the
+// owning stripe and queries scatter-gather the per-stripe snapshots into
+// one merged model behind the unchanged serving interfaces. The federation
+// experiment (cmd/bnmle -exp federation) quantifies both against the flat
+// topology.
 package distbayes
 
 import (

@@ -52,6 +52,13 @@ func (co *Coordinator) checkpointFingerprint() uint64 {
 	w(math.Float64bits(co.cfg.Delta))
 	w(uint64(co.cfg.Sites))
 	w(uint64(co.layout.NumCounters()))
+	if co.cfg.StripeCount > 0 {
+		// A striped coordinator's matrix covers only its owned range; bind
+		// the checkpoint to the stripe. Unstriped runs hash exactly the
+		// historical fields, so pre-federation checkpoints keep restoring.
+		w(uint64(co.cfg.StripeIndex))
+		w(uint64(co.cfg.StripeCount))
+	}
 	return h.Sum64()
 }
 
@@ -179,9 +186,11 @@ func (co *Coordinator) WriteCheckpoint(w io.Writer) error {
 			return err
 		}
 		ups = ups[:0]
-		for id, n := range rows[i] {
+		// Rows are compact (indexed by id − ownLo); the checkpoint stores
+		// absolute counter ids so it is self-describing.
+		for idx, n := range rows[i] {
 			if n != 0 {
-				ups = append(ups, Update{Counter: uint32(id), LocalCount: n})
+				ups = append(ups, Update{Counter: uint32(idx) + co.ownLo, LocalCount: n})
 			}
 		}
 		buf = encodeUpdates2(buf, ups)
@@ -221,7 +230,11 @@ func (co *Coordinator) RestoreCheckpoint(r io.Reader) error {
 		}
 		row := co.reported[i]
 		for _, u := range st.Sites[i].Row {
-			row[u.Counter] = u.LocalCount
+			if u.Counter < co.ownLo || u.Counter >= co.ownHi {
+				return fmt.Errorf("cluster: checkpoint counter %d outside owned range [%d,%d)",
+					u.Counter, co.ownLo, co.ownHi)
+			}
+			row[u.Counter-co.ownLo] = u.LocalCount
 		}
 	}
 	return nil

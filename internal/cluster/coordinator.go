@@ -116,6 +116,16 @@ type Config struct {
 	DriftAfter float64
 	// DriftCPTSeed seeds the drift model's ground-truth parameters.
 	DriftCPTSeed uint64
+	// StripeIndex, StripeCount configure striped coordinator federation:
+	// when StripeCount > 0 this coordinator owns only the contiguous
+	// counter-id range Layout.StripeRange(StripeIndex, StripeCount) — it
+	// folds, stores and estimates owned ids exclusively (the reported matrix
+	// shrinks to the owned range) and rejects updates outside it. Sites of a
+	// striped run (FederatedSite) route each window's updates to the owning
+	// coordinator; queries scatter-gather across the stripes via Federation.
+	// StripeCount = 0 (the default) means unstriped: the coordinator owns
+	// the whole id space and behaves exactly as before.
+	StripeIndex, StripeCount int
 }
 
 // DefaultReconnectGrace is the reconnect window applied when
@@ -171,6 +181,23 @@ func (c Config) validate() error {
 	}
 	if c.DriftNetName == "" && (c.DriftAfter != 0 || c.DriftCPTSeed != 0) {
 		return fmt.Errorf("cluster: drift parameters set without a drift network name")
+	}
+	if c.StripeCount < 0 || c.StripeIndex < 0 {
+		return fmt.Errorf("cluster: stripe %d/%d, want non-negative", c.StripeIndex, c.StripeCount)
+	}
+	if c.StripeCount == 0 && c.StripeIndex != 0 {
+		return fmt.Errorf("cluster: stripe index %d set without a stripe count", c.StripeIndex)
+	}
+	if c.StripeCount > 0 {
+		if c.StripeIndex >= c.StripeCount {
+			return fmt.Errorf("cluster: stripe index %d out of range [0, %d)", c.StripeIndex, c.StripeCount)
+		}
+		if c.StructBatchEvents > 0 {
+			// The structure-learning statistics live in their own cell-id
+			// space and feed a single Chow-Liu fold; splitting them across
+			// stripes has no owner for the learned tree.
+			return fmt.Errorf("cluster: structure learning and striped federation are mutually exclusive")
+		}
 	}
 	return nil
 }
@@ -278,9 +305,14 @@ type estSnapshot struct {
 // by a reconnect, and the site's completion state. Guarded by Coordinator.mu
 // except where noted.
 type siteSlot struct {
-	// raw/c is the live connection, nil/nil while disconnected.
+	// raw/c is the live direct connection, nil/nil while disconnected or
+	// routed through a relay.
 	raw net.Conn
 	c   *conn
+	// via is the relay connection the site is routed through (nil for a
+	// direct connection): control replies travel down it wrapped in
+	// frameRelayCtl and its death detaches every site it carried.
+	via *relayLink
 	// gen is bumped on every (re)connect; readers and grace timers capture
 	// it and stand down when the slot has moved on.
 	gen uint64
@@ -315,11 +347,19 @@ type Coordinator struct {
 	ln     net.Listener
 	sqrtK  float64
 
+	// ownLo, ownHi bound the counter-id range this coordinator owns:
+	// [0, NumCounters()) unstriped, Layout.StripeRange(StripeIndex,
+	// StripeCount) under striped federation. Reported rows are compact —
+	// indexed by id − ownLo — so a stripe's matrix memory scales with its
+	// share of the id space, not the whole layout.
+	ownLo, ownHi uint32
+
 	// stripes guard reported by counter id (id mod len(stripes)).
 	stripes []coStripe
-	// reported[site][counter] is the site's last reported local count.
-	// Writes take the counter's stripe lock; per-site rows mean two sites
-	// never write the same cell, but queries read across all sites.
+	// reported[site][counter-ownLo] is the site's last reported local count
+	// for an owned counter. Writes take the counter's stripe lock; per-site
+	// rows mean two sites never write the same cell, but queries read across
+	// all sites.
 	reported [][]int64
 
 	// snap is the last published estimate snapshot (nil until the first
@@ -416,9 +456,10 @@ func NewCoordinator(cfg Config, addr string) (*Coordinator, error) {
 		ckptEvery: cfg.CheckpointEveryFrames,
 		ckptCh:    make(chan struct{}, 1),
 	}
+	co.ownLo, co.ownHi = layout.StripeRange(uint32(cfg.StripeIndex), uint32(cfg.StripeCount))
 	co.reported = make([][]int64, cfg.Sites)
 	for i := range co.reported {
-		co.reported[i] = make([]int64, layout.NumCounters())
+		co.reported[i] = make([]int64, co.ownHi-co.ownLo)
 	}
 	if cfg.StructBatchEvents > 0 {
 		winEvents, winBlocks := cfg.structWindow()
@@ -549,16 +590,24 @@ func (co *Coordinator) Serve() (Result, error) {
 	}
 
 	stats := co.LiveStats()
-	payload := encodeStats(stats)
+	payload := encodeStats(stats.Stats)
 	co.mu.Lock()
 	type out struct {
-		c   *conn
-		wmu *sync.Mutex
+		c    *conn
+		wmu  *sync.Mutex
+		site uint32
+		via  bool
 	}
 	var outs []out
 	for i := range co.slots {
-		if co.slots[i].c != nil {
-			outs = append(outs, out{co.slots[i].c, &co.slots[i].wmu})
+		switch {
+		case co.slots[i].c != nil:
+			outs = append(outs, out{co.slots[i].c, &co.slots[i].wmu, uint32(i), false})
+		case co.slots[i].via != nil:
+			// Relay-routed site: the stats travel down wrapped in a ctl
+			// frame; the relay unwraps and delivers them.
+			l := co.slots[i].via
+			outs = append(outs, out{l.c, &l.wmu, uint32(i), true})
 		}
 	}
 	co.mu.Unlock()
@@ -566,7 +615,13 @@ func (co *Coordinator) Serve() (Result, error) {
 		// Best effort: a site that lost its connection right at the end
 		// re-resumes and collects stats from the acceptLoop instead.
 		o.wmu.Lock()
-		if err := o.c.writeFrame(frameStats, payload); err == nil {
+		var err error
+		if o.via {
+			err = o.c.writeFrame(frameRelayCtl, encodeRelayWrapped(o.site, frameStats, payload))
+		} else {
+			err = o.c.writeFrame(frameStats, payload)
+		}
+		if err == nil {
 			o.c.flush()
 		}
 		o.wmu.Unlock()
@@ -576,7 +631,7 @@ func (co *Coordinator) Serve() (Result, error) {
 	if runtime < 0 {
 		runtime = 0
 	}
-	res := Result{Stats: stats, Runtime: runtime}
+	res := Result{Stats: stats.Stats, Runtime: runtime}
 	if runtime > 0 {
 		res.Throughput = float64(stats.Events) / runtime.Seconds()
 	}
@@ -619,6 +674,15 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 	case frameResume:
 		resume, err = decodeResume(payload)
 		id = resume.Site
+	case frameRelayHello:
+		relayID, err := decodeHello(payload)
+		if err != nil {
+			raw.Close()
+			co.finish(err)
+			return
+		}
+		co.serveRelay(raw, c, relayID)
+		return
 	default:
 		raw.Close()
 		co.finish(fmt.Errorf("cluster: first frame %d, want hello or resume", t))
@@ -643,7 +707,7 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 				SiteEvents: uint64(co.siteEvents(id)),
 				Flags:      resumeRunComplete | resumeSiteDone,
 			}))
-			c.writeFrame(frameStats, encodeStats(co.LiveStats()))
+			c.writeFrame(frameStats, encodeStats(co.LiveStats().Stats))
 			c.flush()
 		}
 		raw.Close()
@@ -658,6 +722,7 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 		slot.raw.Close()
 	}
 	slot.raw, slot.c = raw, c
+	slot.via = nil
 	slot.gen++
 	gen := slot.gen
 	done, events := slot.done, slot.events
@@ -667,13 +732,7 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 	// bound to the largest update frame the layout admits (or the largest
 	// struct-stats frame, when structure learning is on and those are
 	// bigger).
-	limit := updatesPayloadCap(co.layout.NumCounters())
-	if co.structs != nil {
-		if sl := structPayloadCap(co.structs.layout.Cells()); sl > limit {
-			limit = sl
-		}
-	}
-	c.setReadLimit(limit)
+	c.setReadLimit(co.innerFrameCap())
 
 	var reply error
 	slot.wmu.Lock()
@@ -683,30 +742,7 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 		// gets the same deterministic StartConfig and replays its stream
 		// from event 0. Its reported row is deliberately kept — counts are
 		// monotone and the replayed reports max-merge idempotently.
-		start := StartConfig{
-			NetName:       co.cfg.NetName,
-			CPTSeed:       co.cfg.CPTSeed,
-			Strategy:      uint8(co.cfg.Strategy),
-			Eps:           co.cfg.Eps,
-			Delta:         co.cfg.Delta,
-			Sites:         uint32(co.cfg.Sites),
-			Site:          id,
-			Events:        uint64(co.cfg.eventsFor(id)),
-			StreamSeed:    co.cfg.StreamSeed,
-			LatencyMicros: co.cfg.LatencyMicros,
-			BatchEvents:   uint32(co.cfg.SiteBatchEvents),
-		}
-		start.StructBatchEvents = uint32(co.cfg.StructBatchEvents)
-		if co.drift != nil {
-			frac := co.cfg.DriftAfter
-			if frac == 0 {
-				frac = 0.5
-			}
-			start.DriftNetName = co.cfg.DriftNetName
-			start.DriftCPTSeed = co.cfg.DriftCPTSeed
-			start.DriftAtEvent = uint64(frac * float64(co.cfg.eventsFor(id)))
-		}
-		reply = c.writeFrame(frameStart, encodeStart(start))
+		reply = c.writeFrame(frameStart, encodeStart(co.startConfigFor(id)))
 	case frameResume:
 		ack := resumeAck{Epoch: co.epoch, SiteEvents: uint64(events)}
 		if done {
@@ -733,6 +769,52 @@ func (co *Coordinator) handleConn(raw net.Conn) {
 	}()
 }
 
+// startConfigFor builds the deterministic StartConfig for one site id —
+// shared by the direct handshake and the relay-forwarded join path.
+func (co *Coordinator) startConfigFor(id uint32) StartConfig {
+	start := StartConfig{
+		NetName:       co.cfg.NetName,
+		CPTSeed:       co.cfg.CPTSeed,
+		Strategy:      uint8(co.cfg.Strategy),
+		Eps:           co.cfg.Eps,
+		Delta:         co.cfg.Delta,
+		Sites:         uint32(co.cfg.Sites),
+		Site:          id,
+		Events:        uint64(co.cfg.eventsFor(id)),
+		StreamSeed:    co.cfg.StreamSeed,
+		LatencyMicros: co.cfg.LatencyMicros,
+		BatchEvents:   uint32(co.cfg.SiteBatchEvents),
+	}
+	start.StructBatchEvents = uint32(co.cfg.StructBatchEvents)
+	if co.drift != nil {
+		frac := co.cfg.DriftAfter
+		if frac == 0 {
+			frac = 0.5
+		}
+		start.DriftNetName = co.cfg.DriftNetName
+		start.DriftCPTSeed = co.cfg.DriftCPTSeed
+		start.DriftAtEvent = uint64(frac * float64(co.cfg.eventsFor(id)))
+	}
+	if co.cfg.StripeCount > 0 {
+		start.StripeIndex = uint32(co.cfg.StripeIndex)
+		start.StripeCount = uint32(co.cfg.StripeCount)
+	}
+	return start
+}
+
+// innerFrameCap is the largest site-level frame payload the layout admits —
+// the read limit for a direct site connection, and the per-group inner bound
+// for relay connections.
+func (co *Coordinator) innerFrameCap() uint32 {
+	limit := updatesPayloadCap(co.layout.NumCounters())
+	if co.structs != nil {
+		if sl := structPayloadCap(co.structs.layout.Cells()); sl > limit {
+			limit = sl
+		}
+	}
+	return limit
+}
+
 // detach marks a site disconnected (if gen still identifies the current
 // connection) and arms the reconnect-grace timer.
 func (co *Coordinator) detach(id uint32, gen uint64) {
@@ -745,9 +827,16 @@ func (co *Coordinator) detach(id uint32, gen uint64) {
 	if slot.raw != nil {
 		slot.raw.Close()
 	}
-	slot.raw, slot.c = nil, nil
+	slot.raw, slot.c, slot.via = nil, nil, nil
 	done := slot.done
 	co.mu.Unlock()
+	co.armGrace(id, gen, done)
+}
+
+// armGrace starts the reconnect-grace timer for a site that just lost its
+// connection (direct or relay-routed): the run fails unless the site is back
+// — reconnected directly, or re-forwarded by a relay — before it fires.
+func (co *Coordinator) armGrace(id uint32, gen uint64, done bool) {
 	if done {
 		return // nothing more expected from this site
 	}
@@ -758,7 +847,7 @@ func (co *Coordinator) detach(id uint32, gen uint64) {
 	time.AfterFunc(grace, func() {
 		co.mu.Lock()
 		slot := &co.slots[id]
-		expired := slot.gen == gen && slot.raw == nil && !slot.done
+		expired := slot.gen == gen && slot.raw == nil && slot.via == nil && !slot.done
 		co.mu.Unlock()
 		if expired {
 			co.finish(fmt.Errorf("cluster: site %d disconnected and did not reconnect within %v", id, grace))
@@ -786,21 +875,7 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 		if err != nil {
 			return fmt.Errorf("cluster: site %d stream: %w", site, err)
 		}
-		now := time.Now().UnixNano()
-		co.firstNs.CompareAndSwap(0, now)
-		co.lastNs.Store(now)
-		n := co.frames.Add(1)
-		if co.CrashAfterFrames > 0 && n == co.CrashAfterFrames {
-			// Synchronous: the kill must win the race against a finishing
-			// run, or a seeded kill point near the end becomes flaky.
-			co.Close()
-		}
-		if co.ckptEvery > 0 && n%co.ckptEvery == 0 {
-			select {
-			case co.ckptCh <- struct{}{}:
-			default: // a checkpoint is already pending; cadence resumes next tick
-			}
-		}
+		co.noteFrame()
 		switch t {
 		case frameUpdates:
 			ups, err = decodeUpdates(ups, payload)
@@ -835,24 +910,54 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 			if err != nil {
 				return err
 			}
-			co.mu.Lock()
-			slot := &co.slots[site]
-			allDone := false
-			if !slot.done {
-				slot.done = true
-				slot.events = events
-				co.events.Add(events)
-				co.doneCount++
-				allDone = co.doneCount == len(co.slots)
-			}
-			co.mu.Unlock()
-			if allDone {
-				co.finish(nil)
-			}
+			co.handleDone(site, events)
 			return nil
 		default:
 			return fmt.Errorf("cluster: site %d unexpected frame %d", site, t)
 		}
+	}
+}
+
+// noteFrame records one received frame: the run clock, the frame counter,
+// the chaos crash hook and the checkpoint cadence. Shared by the per-site
+// readers and the relay readers — a relay frame carrying a whole tier's
+// folded windows counts once, which is exactly the root-load reduction the
+// aggregation tree buys.
+func (co *Coordinator) noteFrame() {
+	now := time.Now().UnixNano()
+	co.firstNs.CompareAndSwap(0, now)
+	co.lastNs.Store(now)
+	n := co.frames.Add(1)
+	if co.CrashAfterFrames > 0 && n == co.CrashAfterFrames {
+		// Synchronous: the kill must win the race against a finishing
+		// run, or a seeded kill point near the end becomes flaky.
+		co.Close()
+	}
+	if co.ckptEvery > 0 && n%co.ckptEvery == 0 {
+		select {
+		case co.ckptCh <- struct{}{}:
+		default: // a checkpoint is already pending; cadence resumes next tick
+		}
+	}
+}
+
+// handleDone records a site's Done marker exactly once (replays and
+// relay-forwarded duplicates deduplicate here) and finishes the run when
+// every site has reported.
+func (co *Coordinator) handleDone(site uint32, events int64) {
+	co.mu.Lock()
+	slot := &co.slots[site]
+	allDone := false
+	if !slot.done {
+		slot.done = true
+		slot.events = events
+		co.events.Add(events)
+		co.doneCount++
+		allDone = co.doneCount == len(co.slots)
+	}
+	co.mu.Unlock()
+	if allDone {
+		co.finish(nil)
 	}
 }
 
@@ -864,10 +969,10 @@ func (co *Coordinator) serveSite(c *conn, site uint32) error {
 // stream — the same property that makes resume replays and duplicated
 // frames idempotent.
 func (co *Coordinator) applyUpdates(site uint32, ups []Update, buckets [][]Update) error {
-	total := co.layout.NumCounters()
+	lo, hi := co.ownLo, co.ownHi
 	for _, u := range ups {
-		if u.Counter >= total {
-			return fmt.Errorf("cluster: site %d counter %d out of range", site, u.Counter)
+		if u.Counter < lo || u.Counter >= hi {
+			return fmt.Errorf("cluster: site %d counter %d outside owned range [%d,%d)", site, u.Counter, lo, hi)
 		}
 	}
 	row := co.reported[site]
@@ -876,8 +981,8 @@ func (co *Coordinator) applyUpdates(site uint32, ups []Update, buckets [][]Updat
 		st := &co.stripes[0]
 		st.mu.Lock()
 		for _, u := range ups {
-			if u.LocalCount > row[u.Counter] {
-				row[u.Counter] = u.LocalCount
+			if u.LocalCount > row[u.Counter-lo] {
+				row[u.Counter-lo] = u.LocalCount
 			}
 		}
 		st.version.Add(1)
@@ -896,8 +1001,8 @@ func (co *Coordinator) applyUpdates(site uint32, ups []Update, buckets [][]Updat
 		st := &co.stripes[s]
 		st.mu.Lock()
 		for _, u := range b {
-			if u.LocalCount > row[u.Counter] {
-				row[u.Counter] = u.LocalCount
+			if u.LocalCount > row[u.Counter-lo] {
+				row[u.Counter-lo] = u.LocalCount
 			}
 		}
 		st.version.Add(1)
@@ -914,12 +1019,13 @@ func (co *Coordinator) stripeOf(id uint32) *coStripe {
 
 // estimateLocked computes counter id's estimate from the reported matrix:
 // the sum over sites of the last reported local count plus the trailing-gap
-// adjustment (see layout.go). Callers hold id's stripe lock.
+// adjustment (see layout.go). Callers hold id's stripe lock and guarantee id
+// is owned.
 func (co *Coordinator) estimateLocked(id uint32) float64 {
 	eps := co.layout.Eps(id)
 	est := 0.0
 	for site := 0; site < co.cfg.Sites; site++ {
-		r := co.reported[site][id]
+		r := co.reported[site][id-co.ownLo]
 		est += float64(r) + adjustmentSqrtK(co.cfg.Sites, co.sqrtK, eps, r)
 	}
 	return est
@@ -927,8 +1033,13 @@ func (co *Coordinator) estimateLocked(id uint32) float64 {
 
 // Estimate returns the coordinator's current estimate of a counter's global
 // count, read live under the counter's stripe lock. Valid at any time —
-// during a run it reflects the reports received so far.
+// during a run it reflects the reports received so far. On a striped
+// coordinator only owned ids have state; an unowned id estimates 0 (query
+// through Federation to scatter-gather across the stripes).
 func (co *Coordinator) Estimate(id uint32) float64 {
+	if id < co.ownLo || id >= co.ownHi {
+		return 0
+	}
 	st := co.stripeOf(id)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -973,6 +1084,7 @@ func (co *Coordinator) snapshot() *estSnapshot {
 	}
 	nStripes := uint32(len(co.stripes))
 	k, sqrtK := co.cfg.Sites, co.sqrtK
+	ownLo, ownHi := co.ownLo, co.ownHi
 	for s := range co.stripes {
 		st := &co.stripes[s]
 		if old != nil {
@@ -987,34 +1099,48 @@ func (co *Coordinator) snapshot() *estSnapshot {
 		// counter. Accumulation order (site 0..k-1 from zero) matches
 		// estimateLocked's, so both paths stay bit-identical.
 		if nStripes == 1 {
-			// The single stripe owns every id: walk the layout's equal-eps
-			// sections so the per-id eps load and the strided index
-			// arithmetic drop out of the inner loop — the coordinator-side
-			// sibling of counter.Bank.EstimateRange. Same float operations
-			// on the same ascending ids as the strided walk below, so the
-			// two paths are bit-identical.
+			// The single stripe owns every owned id: walk the layout's
+			// equal-eps sections, clipped to the owned range, so the per-id
+			// eps load and the strided index arithmetic drop out of the
+			// inner loop — the coordinator-side sibling of
+			// counter.Bank.EstimateRange. Same float operations on the same
+			// ascending ids as the strided walk below, so the two paths are
+			// bit-identical; unstriped, the clip is the identity and the
+			// walk matches the historical full-space one exactly.
 			est := ns.est
-			for id := range est {
+			for id := ownLo; id < ownHi; id++ {
 				est[id] = 0
 			}
 			for site := 0; site < k; site++ {
 				row := co.reported[site]
 				for _, sec := range co.layout.Sections() {
+					lo, hi := sec.Lo, sec.Hi
+					if lo < ownLo {
+						lo = ownLo
+					}
+					if hi > ownHi {
+						hi = ownHi
+					}
 					eps := sec.Eps
-					for id := sec.Lo; id < sec.Hi; id++ {
-						r := row[id]
+					for id := lo; id < hi; id++ {
+						r := row[id-ownLo]
 						est[id] += float64(r) + adjustmentSqrtK(k, sqrtK, eps, r)
 					}
 				}
 			}
 		} else {
-			for id := uint32(s); id < total; id += nStripes {
+			// First owned id congruent to s mod nStripes.
+			start := uint32(s)
+			if start < ownLo {
+				start += (ownLo - start + nStripes - 1) / nStripes * nStripes
+			}
+			for id := start; id < ownHi; id += nStripes {
 				ns.est[id] = 0
 			}
 			for site := 0; site < k; site++ {
 				row := co.reported[site]
-				for id := uint32(s); id < total; id += nStripes {
-					r := row[id]
+				for id := start; id < ownHi; id += nStripes {
+					r := row[id-ownLo]
 					ns.est[id] += float64(r) + adjustmentSqrtK(k, sqrtK, co.layout.Eps(id), r)
 				}
 			}
@@ -1084,17 +1210,271 @@ func (co *Coordinator) modelFor(snap *estSnapshot) (*bn.Model, error) {
 	return m, nil
 }
 
-// LiveStats returns a point-in-time snapshot of the protocol counters —
-// frames, update entries and completed events seen so far. Safe to call
-// while Serve is running; Events counts only sites that already sent their
-// Done marker.
-func (co *Coordinator) LiveStats() Stats {
-	return Stats{
+// RunStats is LiveStats' full point-in-time view of a run: the protocol
+// counters plus — when the structure-learning overlay is on — its fold
+// counters (struct frames folded, Chow-Liu relearns, hot swaps, current
+// structure epoch).
+type RunStats struct {
+	Stats
+	// Struct holds the structure-learning counters; zero value when
+	// Config.StructBatchEvents is 0.
+	Struct StructStats
+}
+
+// LiveStats returns a point-in-time snapshot of the run counters — frames,
+// update entries and completed events seen so far, plus the
+// structure-learning counters when the overlay is on. Safe to call while
+// Serve is running; Events counts only sites that already sent their Done
+// marker.
+func (co *Coordinator) LiveStats() RunStats {
+	rs := RunStats{Stats: Stats{
 		Frames:  co.frames.Load(),
 		Updates: co.updates.Load(),
 		Events:  co.events.Load(),
+	}}
+	if co.structs != nil {
+		rs.Struct = co.StructLearnStats()
 	}
+	return rs
 }
 
 // Network returns the shared network structure.
 func (co *Coordinator) Network() *bn.Network { return co.net }
+
+// StructLearning reports whether the structure-learning overlay is on for
+// this run (Config.StructBatchEvents > 0).
+func (co *Coordinator) StructLearning() bool { return co.structs != nil }
+
+// relayLink is one relay's upstream connection as the coordinator (or a
+// mid-tier relay acting as parent) sees it: a single TCP connection carrying
+// many sites' traffic. Control replies for those sites travel down it
+// wrapped in frameRelayCtl frames.
+type relayLink struct {
+	raw net.Conn
+	c   *conn
+	// wmu serializes writers: ctl replies from the relay reader race the
+	// closing stats broadcast.
+	wmu sync.Mutex
+}
+
+// serveRelay drives one relay connection: it answers the relay's hello with
+// the base run configuration, admits the wrapped per-site joins the relay
+// forwards, folds the relay's grouped per-site update frames — one frame
+// for a whole tier of sites, which is the point of the aggregation tree:
+// the root's frame rate divides by the relay's branching factor — and
+// routes control replies back down wrapped in frameRelayCtl. Runs on the
+// accepted connection's goroutine until the connection dies; a dead relay
+// link detaches every site it carried (grace timers arm exactly as for a
+// direct disconnect — the relay reconnecting, or its sites re-resuming
+// through a restarted relay, heals the run).
+func (co *Coordinator) serveRelay(raw net.Conn, c *conn, relayID uint32) {
+	link := &relayLink{raw: raw, c: c}
+
+	// The relay derives its fold layout from the same deterministic base
+	// config a site would get; Site and Events are meaningless for a relay
+	// and zeroed.
+	base := co.startConfigFor(0)
+	base.Site, base.Events = 0, 0
+	link.wmu.Lock()
+	err := c.writeFrame(frameStart, encodeStart(base))
+	if err == nil {
+		err = c.flush()
+	}
+	link.wmu.Unlock()
+	if err != nil {
+		raw.Close()
+		return
+	}
+
+	innerCap := co.innerFrameCap()
+	c.setReadLimit(relayPayloadCap(uint32(co.cfg.Sites), innerCap))
+
+	// Any error — connection death or garbage — detaches the relay's sites;
+	// like a direct site connection, the peer is expected to come back.
+	_ = co.relayLoop(link, innerCap, relayID)
+	co.detachRelay(link)
+	raw.Close()
+}
+
+// relayLoop consumes one relay connection's frames until it dies.
+func (co *Coordinator) relayLoop(link *relayLink, innerCap uint32, relayID uint32) error {
+	var ups []Update
+	var groups []relayGroup
+	buckets := make([][]Update, len(co.stripes))
+	for {
+		t, payload, err := link.c.readFrame()
+		if err != nil {
+			return fmt.Errorf("cluster: relay %d stream: %w", relayID, err)
+		}
+		co.noteFrame()
+		switch t {
+		case frameRelayJoin:
+			site, kind, inner, err := decodeRelayWrapped(payload)
+			if err != nil {
+				return err
+			}
+			if site >= uint32(co.cfg.Sites) {
+				return fmt.Errorf("cluster: relay %d forwarded site id %d out of range", relayID, site)
+			}
+			if err := co.handleRelayJoin(link, site, kind, inner); err != nil {
+				return err
+			}
+		case frameRelayUpdates:
+			groups, err = decodeRelayGroups(groups, payload, uint32(co.cfg.Sites), innerCap)
+			if err != nil {
+				return err
+			}
+			for _, g := range groups {
+				ups, err = decodeUpdates2(ups, g.Payload, co.layout.NumCounters())
+				if err != nil {
+					return err
+				}
+				if err := co.applyUpdates(g.Site, ups, buckets); err != nil {
+					return err
+				}
+				co.updates.Add(int64(len(ups)))
+			}
+		case frameRelayStruct:
+			if co.structs == nil {
+				return fmt.Errorf("cluster: relay %d sent struct stats but structure learning is off", relayID)
+			}
+			groups, err = decodeRelayGroups(groups, payload, uint32(co.cfg.Sites), innerCap)
+			if err != nil {
+				return err
+			}
+			for _, g := range groups {
+				var siteEvents uint64
+				siteEvents, ups, err = decodeStructStats(ups, g.Payload, co.structs.layout.Cells())
+				if err != nil {
+					return err
+				}
+				co.structs.apply(g.Site, siteEvents, ups)
+			}
+		default:
+			return fmt.Errorf("cluster: relay %d unexpected frame %d", relayID, t)
+		}
+	}
+}
+
+// handleRelayJoin processes one wrapped site join forwarded by a relay —
+// the relay-routed mirror of the direct handshake in handleConn.
+func (co *Coordinator) handleRelayJoin(link *relayLink, site uint32, kind byte, inner []byte) error {
+	writeCtl := func(innerType byte, payload []byte) error {
+		link.wmu.Lock()
+		defer link.wmu.Unlock()
+		if err := link.c.writeFrame(frameRelayCtl, encodeRelayWrapped(site, innerType, payload)); err != nil {
+			return err
+		}
+		return link.c.flush()
+	}
+	switch kind {
+	case relayJoinHello:
+		if over, _ := co.finished(); over {
+			// Nothing left to start; a site that still wants the closing
+			// stats resumes instead.
+			return nil
+		}
+		co.attachVia(site, link)
+		return writeCtl(frameStart, encodeStart(co.startConfigFor(site)))
+	case relayJoinResume:
+		if _, err := decodeResume(inner); err != nil {
+			return err
+		}
+		if over, ferr := co.finished(); over {
+			if ferr != nil {
+				return nil
+			}
+			// Run already complete: ack with the closing stats, as on a
+			// direct post-run resume.
+			if err := writeCtl(frameResumeAck, encodeResumeAck(resumeAck{
+				Epoch:      co.epoch,
+				SiteEvents: uint64(co.siteEvents(site)),
+				Flags:      resumeRunComplete | resumeSiteDone,
+			})); err != nil {
+				return err
+			}
+			return writeCtl(frameStats, encodeStats(co.LiveStats().Stats))
+		}
+		done, events := co.attachVia(site, link)
+		ack := resumeAck{Epoch: co.epoch, SiteEvents: uint64(events)}
+		if done {
+			ack.Flags |= resumeSiteDone
+		}
+		return writeCtl(frameResumeAck, encodeResumeAck(ack))
+	case relayJoinReattach:
+		// The relay's upstream connection was re-established with this site
+		// still attached below it; no reply — re-routing the slot cancels
+		// the grace timer.
+		if over, _ := co.finished(); over {
+			return nil
+		}
+		co.attachVia(site, link)
+		return nil
+	case relayJoinDone:
+		_, events, err := decodeDone(inner)
+		if err != nil {
+			return err
+		}
+		co.handleDone(site, events)
+		return nil
+	case relayJoinDetach:
+		co.detachViaSite(link, site)
+		return nil
+	default:
+		return fmt.Errorf("cluster: relay join kind %d for site %d", kind, site)
+	}
+}
+
+// attachVia routes a site slot through a relay link, superseding any direct
+// connection, and returns the slot's completion state.
+func (co *Coordinator) attachVia(site uint32, link *relayLink) (done bool, events int64) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	slot := &co.slots[site]
+	if slot.raw != nil {
+		slot.raw.Close()
+	}
+	slot.raw, slot.c = nil, nil
+	slot.via = link
+	slot.gen++
+	return slot.done, slot.events
+}
+
+// detachViaSite marks one relay-routed site disconnected (the relay reported
+// its downstream connection died) and arms its grace timer.
+func (co *Coordinator) detachViaSite(link *relayLink, site uint32) {
+	co.mu.Lock()
+	slot := &co.slots[site]
+	if slot.via != link {
+		co.mu.Unlock()
+		return // superseded by a direct reconnect or another relay
+	}
+	slot.via = nil
+	gen, done := slot.gen, slot.done
+	co.mu.Unlock()
+	co.armGrace(site, gen, done)
+}
+
+// detachRelay marks every site routed through a dead relay link
+// disconnected and arms their grace timers: the relay must reconnect (or
+// its sites re-resume through a restarted one) within the grace.
+func (co *Coordinator) detachRelay(link *relayLink) {
+	type lost struct {
+		id   uint32
+		gen  uint64
+		done bool
+	}
+	var ps []lost
+	co.mu.Lock()
+	for i := range co.slots {
+		slot := &co.slots[i]
+		if slot.via == link {
+			slot.via = nil
+			ps = append(ps, lost{uint32(i), slot.gen, slot.done})
+		}
+	}
+	co.mu.Unlock()
+	for _, p := range ps {
+		co.armGrace(p.id, p.gen, p.done)
+	}
+}

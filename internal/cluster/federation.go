@@ -1,0 +1,549 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"distbayes/internal/bn"
+)
+
+// Striped coordinator federation: the flat counter-id space is partitioned
+// into K contiguous stripes (Layout.StripeRange), each owned by its own
+// coordinator process. Sites run ONE stream and route each decided report to
+// the stripe's owner, so ingest load divides across the federation; queries
+// scatter-gather the per-stripe estimate snapshots and merge them — exact,
+// because the estimate of a counter depends only on that counter's per-site
+// reports, which live wholly inside one stripe. Estimates are therefore
+// bit-identical to a flat run of the same Config (asserted by the federation
+// tests): striping moves counters between machines, never across sites.
+
+// FederatedSite is a site of a striped run: it connects to every stripe
+// coordinator, verifies they describe the same run, generates its share of
+// the stream ONCE (the same deterministic siteRun a flat Site regenerates —
+// same counters, same RNG draw order, so every report decision is identical
+// to the flat run's), and routes each decided report to the coordinator
+// owning its counter id.
+//
+// FederatedSite does not resume: a lost stripe connection fails the site.
+// Fault tolerance in the federation PR lives on the aggregation-tree tier
+// (relays reconnect and replay; sites behind them resume as before) — a
+// striped site would additionally need per-stripe resume cursors, which is
+// future work.
+type FederatedSite struct {
+	id uint32
+	// addrs[i] is stripe i's coordinator address.
+	addrs []string
+
+	// DialAttempts, RetryBase, RetryCap shape the per-stripe dial retry
+	// exactly as on Site; zero selects the same defaults.
+	DialAttempts        int
+	RetryBase, RetryCap time.Duration
+}
+
+// NewFederatedSite prepares a federated site with the given id; addrs[i]
+// must be the coordinator owning stripe i of len(addrs).
+func NewFederatedSite(id uint32, addrs []string) *FederatedSite {
+	return &FederatedSite{id: id, addrs: addrs}
+}
+
+func (s *FederatedSite) dialRetry(addr string, jrng *bn.RNG) (net.Conn, error) {
+	helper := Site{id: s.id, addr: addr, DialAttempts: s.DialAttempts, RetryBase: s.RetryBase, RetryCap: s.RetryCap}
+	return helper.dialRetry(jrng)
+}
+
+// Run connects to every stripe coordinator, processes the configured stream
+// once, and returns each stripe's closing Stats (index = stripe). All
+// stripes report the same Events (every site's Done carries its full event
+// count to every stripe); Frames and Updates are per-stripe.
+func (s *FederatedSite) Run() ([]Stats, error) {
+	k := len(s.addrs)
+	if k < 1 {
+		return nil, fmt.Errorf("cluster: federated site %d has no stripe addresses", s.id)
+	}
+	jrng := bn.NewRNG(0xfede5a1e ^ (uint64(s.id) * 0x9e3779b97f4a7c15))
+	conns := make([]*conn, k)
+	raws := make([]net.Conn, k)
+	defer func() {
+		for _, raw := range raws {
+			if raw != nil {
+				raw.Close()
+			}
+		}
+	}()
+
+	// Handshake with every stripe; the StartConfigs must agree on everything
+	// but the stripe index (one run, K owners).
+	var base StartConfig
+	for i, addr := range s.addrs {
+		raw, err := s.dialRetry(addr, jrng)
+		if err != nil {
+			return nil, err
+		}
+		raws[i] = raw
+		c := newConn(raw)
+		if err := c.writeFrame(frameHello, encodeHello(s.id)); err != nil {
+			return nil, err
+		}
+		if err := c.flush(); err != nil {
+			return nil, err
+		}
+		t, payload, err := c.readFrame()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: federated site %d waiting for start from stripe %d: %w", s.id, i, err)
+		}
+		if t != frameStart {
+			return nil, fmt.Errorf("cluster: federated site %d got frame %d from stripe %d, want start", s.id, t, i)
+		}
+		cfg, err := decodeStart(payload)
+		if err != nil {
+			return nil, err
+		}
+		if int(cfg.StripeCount) != k || int(cfg.StripeIndex) != i {
+			return nil, fmt.Errorf("cluster: federated site %d: stripe %d announced stripe %d/%d, want %d/%d",
+				s.id, i, cfg.StripeIndex, cfg.StripeCount, i, k)
+		}
+		norm := cfg
+		norm.StripeIndex = 0
+		if i == 0 {
+			base = norm
+		} else if norm != base {
+			return nil, fmt.Errorf("cluster: federated site %d: stripe %d describes a different run than stripe 0", s.id, i)
+		}
+		conns[i] = c
+	}
+
+	// One stream, regenerated exactly as a flat Site would (the stripe
+	// fields do not enter the regeneration), so every report decision —
+	// counter value and RNG draw order — matches the flat run bit for bit.
+	st, err := newSiteRun(s.id, base)
+	if err != nil {
+		return nil, err
+	}
+	// Owned-range bounds, ascending; los[i] is stripe i's first id and
+	// stripe i owns [los[i], los[i+1]).
+	los := make([]uint32, k+1)
+	for i := 0; i < k; i++ {
+		los[i], los[i+1] = st.layout.StripeRange(uint32(i), uint32(k))
+	}
+
+	// ship routes one ascending decided-report batch: split into contiguous
+	// per-stripe runs (ids ascending makes each stripe's share one slice)
+	// and frame each non-empty run to its owner.
+	ship := func(frameType byte, ups []Update) error {
+		stripe := 0
+		for lo := 0; lo < len(ups); {
+			for ups[lo].Counter >= los[stripe+1] {
+				stripe++
+			}
+			hi := lo
+			for hi < len(ups) && ups[hi].Counter < los[stripe+1] {
+				hi++
+			}
+			if frameType == frameUpdates2 {
+				st.buf = encodeUpdates2(st.buf, ups[lo:hi])
+			} else {
+				st.buf = encodeUpdates(st.buf, ups[lo:hi])
+			}
+			if err := conns[stripe].writeFrame(frameType, st.buf); err != nil {
+				return err
+			}
+			lo = hi
+		}
+		return nil
+	}
+
+	cfg, netw, layout := st.cfg, st.netw, st.layout
+	window := uint64(cfg.BatchEvents)
+	const flushEvery = 1024
+	flushAll := func() error {
+		for _, c := range conns {
+			if err := c.flush(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	flushBatch := func() error {
+		if len(st.batch) == 0 {
+			return nil
+		}
+		st.ups = st.ups[:0]
+		for id, n := range st.batch {
+			st.ups = append(st.ups, Update{Counter: id, LocalCount: n})
+		}
+		clear(st.batch)
+		slices.SortFunc(st.ups, func(a, b Update) int { return int(a.Counter) - int(b.Counter) })
+		if err := ship(frameUpdates2, st.ups); err != nil {
+			return err
+		}
+		return flushAll()
+	}
+
+	for st.next < cfg.Events {
+		e := st.next
+		x := st.nextEvent()
+		st.ups = st.ups[:0]
+		for i := 0; i < netw.Len(); i++ {
+			pidx := netw.ParentIndex(i, x)
+			for _, id := range [2]uint32{layout.PairID(i, x[i], pidx), layout.ParID(i, pidx)} {
+				if n, report := st.counts.inc(id, st.rng); report {
+					st.lastReported[id] = n
+					if st.batch != nil {
+						st.batch[id] = n
+					} else {
+						st.ups = append(st.ups, Update{Counter: id, LocalCount: n})
+					}
+				}
+			}
+		}
+		// Consumed before any fallible write, as in Site.process.
+		st.next = e + 1
+		if st.batch == nil {
+			if len(st.ups) > 0 {
+				// Per-event ups are ascending by construction (variable
+				// blocks ascend; within one, pair ids precede parent ids).
+				if err := ship(frameUpdates, st.ups); err != nil {
+					return nil, err
+				}
+			}
+			if (e+1)%flushEvery == 0 {
+				if err := flushAll(); err != nil {
+					return nil, err
+				}
+			}
+		} else if (e+1)%window == 0 {
+			if err := flushBatch(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if st.batch != nil {
+		if err := flushBatch(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Done carries the site's full event count to EVERY stripe — each owner
+	// supervises the whole membership, so each one's closing Events is the
+	// run total.
+	for _, c := range conns {
+		if err := c.writeFrame(frameDone, encodeDone(s.id, int64(cfg.Events))); err != nil {
+			return nil, err
+		}
+		if err := c.flush(); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]Stats, k)
+	helper := Site{id: s.id}
+	for i, c := range conns {
+		if out[i], err = helper.awaitStats(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Federation is the scatter-gather query plane over a striped run: one
+// handle per stripe coordinator, merged into the same query surface a single
+// coordinator offers (Estimate, QueryProb, EstimatedModel, AcquireSnapshot).
+// The merge is exact — stripe s's snapshot is authoritative for exactly the
+// ids in its owned range, and ranges partition the id space — so a federated
+// query equals the flat coordinator's answer on the same reports.
+type Federation struct {
+	parts  []*Coordinator
+	net    *bn.Network
+	layout *Layout
+
+	rebuildMu sync.Mutex
+	snap      atomic.Pointer[fedSnapshot]
+}
+
+// fedSnapshot is one immutable merge of the per-stripe estimate snapshots.
+type fedSnapshot struct {
+	// versions[i] is part i's snapshot version at merge time.
+	versions []uint64
+	est      []float64
+	model    atomic.Pointer[bn.Model]
+	// version is the sum of the per-part versions — monotone non-decreasing,
+	// like a single coordinator's snapshot version.
+	version uint64
+	builtAt time.Time
+}
+
+// NewFederation builds the query plane over the stripe coordinators;
+// parts[i] must be configured as stripe i of len(parts) over the same run.
+func NewFederation(parts []*Coordinator) (*Federation, error) {
+	if len(parts) < 1 {
+		return nil, fmt.Errorf("cluster: federation needs at least one coordinator")
+	}
+	for i, co := range parts {
+		if co.cfg.StripeCount != len(parts) || co.cfg.StripeIndex != i {
+			return nil, fmt.Errorf("cluster: federation part %d is stripe %d/%d, want %d/%d",
+				i, co.cfg.StripeIndex, co.cfg.StripeCount, i, len(parts))
+		}
+		if co.cfg.NetName != parts[0].cfg.NetName || co.layout.NumCounters() != parts[0].layout.NumCounters() {
+			return nil, fmt.Errorf("cluster: federation part %d tracks a different run than part 0", i)
+		}
+	}
+	return &Federation{parts: parts, net: parts[0].net, layout: parts[0].layout}, nil
+}
+
+// Network returns the shared network structure.
+func (f *Federation) Network() *bn.Network { return f.net }
+
+// Err returns the first stripe coordinator failure, or nil while every
+// stripe can still answer — the health probe the serving layer's federated
+// source uses to flip into degraded mode when any stripe dies.
+func (f *Federation) Err() error {
+	for i, co := range f.parts {
+		if err := co.Err(); err != nil {
+			return fmt.Errorf("stripe %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Estimate returns the federation's current estimate of a counter's global
+// count, read live from the owning stripe.
+func (f *Federation) Estimate(id uint32) float64 {
+	total := f.layout.NumCounters()
+	if id >= total {
+		return 0
+	}
+	k := uint32(len(f.parts))
+	// Invert StripeRange: candidate stripe from the uniform split, corrected
+	// for the floor rounding (off by at most one).
+	s := uint32(uint64(id) * uint64(k) / uint64(total))
+	for {
+		lo, hi := f.layout.StripeRange(s, k)
+		if id < lo {
+			s--
+		} else if id >= hi {
+			s++
+		} else {
+			return f.parts[s].Estimate(id)
+		}
+	}
+}
+
+// snapshot returns a current merged snapshot, re-merging only when some
+// stripe's snapshot version moved. The per-part acquisitions reuse each
+// coordinator's own version-validated snapshot, so a federation query
+// against quiescent stripes costs K version comparisons.
+func (f *Federation) snapshot() *fedSnapshot {
+	parts := make([]*estSnapshot, len(f.parts))
+	fresh := true
+	old := f.snap.Load()
+	for i, co := range f.parts {
+		parts[i] = co.snapshot()
+		if old == nil || old.versions[i] != parts[i].version {
+			fresh = false
+		}
+	}
+	if fresh {
+		return old
+	}
+	f.rebuildMu.Lock()
+	defer f.rebuildMu.Unlock()
+	ns := &fedSnapshot{
+		versions: make([]uint64, len(parts)),
+		est:      make([]float64, f.layout.NumCounters()),
+	}
+	for i, ps := range parts {
+		lo, hi := f.layout.StripeRange(uint32(i), uint32(len(parts)))
+		copy(ns.est[lo:hi], ps.est[lo:hi])
+		ns.versions[i] = ps.version
+		ns.version += ps.version
+	}
+	ns.builtAt = time.Now()
+	f.snap.Store(ns)
+	return ns
+}
+
+// QueryProb answers a joint-probability query from the merged estimates —
+// the same Algorithm-3 product a single coordinator computes.
+func (f *Federation) QueryProb(x []int) float64 {
+	est := f.snapshot().est
+	p := 1.0
+	for i := 0; i < f.net.Len(); i++ {
+		pidx := f.net.ParentIndex(i, x)
+		den := est[f.layout.ParID(i, pidx)]
+		if den <= 0 {
+			return 0
+		}
+		p *= est[f.layout.PairID(i, x[i], pidx)] / den
+	}
+	return p
+}
+
+// EstimatedModel materializes the merged estimates into a normalized
+// bn.Model, cached per merged snapshot.
+func (f *Federation) EstimatedModel() (*bn.Model, error) {
+	return f.modelFor(f.snapshot())
+}
+
+func (f *Federation) modelFor(snap *fedSnapshot) (*bn.Model, error) {
+	if m := snap.model.Load(); m != nil {
+		return m, nil
+	}
+	est := snap.est
+	m, err := bn.NewNormalizedModel(f.net, func(i int, tbl []float64) {
+		j, k := f.net.Card(i), f.net.ParentCard(i)
+		for pidx := 0; pidx < k; pidx++ {
+			den := est[f.layout.ParID(i, pidx)]
+			for v := 0; v < j; v++ {
+				if den > 0 {
+					tbl[pidx*j+v] = est[f.layout.PairID(i, v, pidx)] / den
+				}
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	snap.model.Store(m)
+	return m, nil
+}
+
+// FedSnapshot is an exported read handle on one merged federation snapshot,
+// offering the same surface as a single coordinator's Snapshot so the
+// serving layer fronts a federation unchanged.
+type FedSnapshot struct {
+	f *Federation
+	s *fedSnapshot
+}
+
+// AcquireSnapshot returns the current merged snapshot.
+func (f *Federation) AcquireSnapshot() *FedSnapshot {
+	return &FedSnapshot{f: f, s: f.snapshot()}
+}
+
+// Factor returns the merged estimate of P[X_i = v | parent config pidx].
+func (s *FedSnapshot) Factor(i, v, pidx int) float64 {
+	den := s.s.est[s.f.layout.ParID(i, pidx)]
+	if den <= 0 {
+		return 0
+	}
+	return s.s.est[s.f.layout.PairID(i, v, pidx)] / den
+}
+
+// Version is the sum of the per-stripe snapshot versions; monotone
+// non-decreasing across acquisitions.
+func (s *FedSnapshot) Version() uint64 { return s.s.version }
+
+// BuiltAt is when the merge was computed.
+func (s *FedSnapshot) BuiltAt() time.Time { return s.s.builtAt }
+
+// Model returns the merged estimates normalized into a bn.Model, built at
+// most once per merged snapshot; immutable.
+func (s *FedSnapshot) Model() (*bn.Model, error) { return s.f.modelFor(s.s) }
+
+// Network returns the tracked base network.
+func (s *FedSnapshot) Network() *bn.Network { return s.f.net }
+
+// StructureEpoch is always 0: striped federation tracks the configured base
+// structure (striping and structure learning are mutually exclusive).
+func (s *FedSnapshot) StructureEpoch() uint64 { return 0 }
+
+// Release is a no-op: merged snapshots carry no pooled resources.
+func (s *FedSnapshot) Release() {}
+
+// RunLocalFederation executes a striped run on loopback TCP: K stripe
+// coordinators (cfg with StripeIndex = 0..K-1, StripeCount = K), cfg.Sites
+// federated site goroutines each routing its one stream across the stripes,
+// and a Federation query plane over the coordinators (usable during and
+// after the run). The aggregate Result reports Events from stripe 0 (every
+// stripe supervises the full membership, so each one's Events is already the
+// run total — summing would multiply by K) and sums Frames and Updates
+// across stripes (each frame and update lands on exactly one stripe).
+func RunLocalFederation(cfg Config, stripes int) (Result, *Federation, error) {
+	if stripes < 1 {
+		return Result{}, nil, fmt.Errorf("cluster: federation stripes = %d, want >= 1", stripes)
+	}
+	parts := make([]*Coordinator, stripes)
+	addrs := make([]string, stripes)
+	for i := range parts {
+		pcfg := cfg
+		pcfg.StripeIndex, pcfg.StripeCount = i, stripes
+		co, err := NewCoordinator(pcfg, "127.0.0.1:0")
+		if err != nil {
+			for _, p := range parts[:i] {
+				p.Close()
+			}
+			return Result{}, nil, err
+		}
+		parts[i] = co
+		addrs[i] = co.Addr()
+	}
+	defer func() {
+		for _, p := range parts {
+			p.Close()
+		}
+	}()
+	fed, err := NewFederation(parts)
+	if err != nil {
+		return Result{}, nil, err
+	}
+
+	type siteOut struct {
+		stats []Stats
+		err   error
+	}
+	outs := make([]siteOut, cfg.Sites)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sites; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := NewFederatedSite(uint32(i), addrs).Run()
+			outs[i] = siteOut{stats: st, err: err}
+		}(i)
+	}
+
+	results := make([]Result, stripes)
+	errs := make([]error, stripes)
+	var swg sync.WaitGroup
+	for i, co := range parts {
+		swg.Add(1)
+		go func(i int, co *Coordinator) {
+			defer swg.Done()
+			results[i], errs[i] = co.Serve()
+		}(i, co)
+	}
+	swg.Wait()
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return Result{}, nil, fmt.Errorf("cluster: stripe %d: %w", i, err)
+		}
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, nil, fmt.Errorf("cluster: federated site %d: %w", i, o.err)
+		}
+		for s := range parts {
+			if o.stats[s] != results[s].Stats {
+				return Result{}, nil, fmt.Errorf("cluster: site %d saw stripe %d stats %+v, coordinator %+v",
+					i, s, o.stats[s], results[s].Stats)
+			}
+		}
+	}
+
+	agg := Result{Stats: Stats{Events: results[0].Stats.Events}}
+	for _, r := range results {
+		agg.Stats.Frames += r.Stats.Frames
+		agg.Stats.Updates += r.Stats.Updates
+		if r.Runtime > agg.Runtime {
+			agg.Runtime = r.Runtime
+		}
+	}
+	if agg.Runtime > 0 {
+		agg.Throughput = float64(agg.Stats.Events) / agg.Runtime.Seconds()
+	}
+	return agg, fed, nil
+}

@@ -160,6 +160,66 @@ const (
 	// 1-3 (a coordinator not running structure learning never requests it
 	// and old coordinators never see it).
 	frameStructStats byte = 9
+	// frameRelayHello introduces an aggregation-tree relay to its parent
+	// (protocol version 5, relay → coordinator or relay → relay): payload =
+	// relay id (u32, diagnostic only). The parent replies with a frameStart
+	// carrying the run's base configuration (Site and Events zero), from
+	// which the relay derives the counter layout it folds over.
+	frameRelayHello byte = 10
+	// frameRelayJoin wraps one downstream site's control traffic traveling
+	// up through a relay (relay → parent): payload = site id (u32), a join
+	// kind byte (relayJoinHello, relayJoinResume, relayJoinReattach,
+	// relayJoinDone, relayJoinDetach) and the kind's inner payload (empty,
+	// a frameResume payload, or a frameDone payload). The parent handles
+	// the wrapped frame exactly as it would on a direct site connection and
+	// answers, when the kind warrants a reply, with frameRelayCtl.
+	frameRelayJoin byte = 11
+	// frameRelayCtl wraps coordinator → site control traffic traveling down
+	// through a relay (parent → relay): payload = site id (u32), the inner
+	// frame type (frameStart, frameResumeAck or frameStats) and the inner
+	// frame's payload verbatim. The relay unwraps it and writes the inner
+	// frame on the named site's downstream connection.
+	frameRelayCtl byte = 12
+	// frameRelayUpdates carries a relay's folded counter state upstream
+	// (relay → parent): uvarint group count, then per group a uvarint site
+	// id, a uvarint byte length, and that site's folded counter vector as a
+	// frameUpdates2 payload. The relay folds its children's monotone
+	// per-site vectors with the same idempotent max-merge the coordinator
+	// applies, so folding mid-tier and coalescing many sites into one frame
+	// cannot change any final estimate — it only divides the parent's
+	// frame rate by the relay's branching factor.
+	frameRelayUpdates byte = 13
+	// frameRelayStruct is frameRelayUpdates for structure-learning
+	// statistics: uvarint group count, then per group a uvarint site id, a
+	// uvarint byte length, and that site's cumulative statistics as a
+	// frameStructStats payload.
+	frameRelayStruct byte = 14
+)
+
+// frameRelayJoin kinds.
+const (
+	// relayJoinHello: a site joined the relay with frameHello; inner payload
+	// empty (the outer site id carries the identity). Reply: a wrapped
+	// frameStart.
+	relayJoinHello byte = 0
+	// relayJoinResume: a site reconnected with frameResume; inner payload =
+	// the frameResume payload. Reply: a wrapped frameResumeAck (plus a
+	// wrapped frameStats when the run is already complete).
+	relayJoinResume byte = 1
+	// relayJoinReattach: the relay's upstream connection was re-established
+	// and this already-admitted site is still attached downstream; inner
+	// payload empty, no reply. Cancels the site's reconnect-grace timer.
+	relayJoinReattach byte = 2
+	// relayJoinDone: the site's stream is exhausted; inner payload = the
+	// frameDone payload. The relay flushes its folded state upstream before
+	// forwarding, so the coordinator's matrix reflects every report the
+	// site decided before its Done is counted. No reply (the closing stats
+	// are broadcast later).
+	relayJoinDone byte = 3
+	// relayJoinDetach: the site's downstream connection died; inner payload
+	// empty, no reply. Arms the site's reconnect-grace timer at the
+	// coordinator, exactly as a direct disconnect would.
+	relayJoinDetach byte = 4
 )
 
 // frameResumeAck flag bits.
@@ -267,6 +327,14 @@ type StartConfig struct {
 	// must describe the same variables (names and cardinalities) as NetName;
 	// only the structure and parameters may differ. Empty = no drift.
 	DriftNetName string
+	// StripeIndex, StripeCount describe striped coordinator federation
+	// (protocol version 5): the flat counter-id space is split into
+	// StripeCount contiguous ranges (Layout.StripeRange) and the coordinator
+	// sending this config owns stripe StripeIndex — it folds and estimates
+	// only ids in its range and a site drops updates outside it before
+	// framing. StripeCount = 0 (the default) means unstriped: the
+	// coordinator owns the whole id space and the v5 tail is not emitted.
+	StripeIndex, StripeCount uint32
 }
 
 // Stats is the coordinator's closing summary sent to each site and returned
@@ -377,7 +445,8 @@ func encodeStart(cfg StartConfig) []byte {
 	put64(cfg.Events)
 	put64(cfg.StreamSeed)
 	put32(cfg.LatencyMicros)
-	v4 := cfg.StructBatchEvents != 0 || cfg.DriftNetName != "" || cfg.DriftAtEvent != 0 || cfg.DriftCPTSeed != 0
+	v5 := cfg.StripeCount != 0
+	v4 := v5 || cfg.StructBatchEvents != 0 || cfg.DriftNetName != "" || cfg.DriftAtEvent != 0 || cfg.DriftCPTSeed != 0
 	if cfg.BatchEvents != 0 || v4 {
 		put32(cfg.BatchEvents)
 	}
@@ -387,6 +456,10 @@ func encodeStart(cfg StartConfig) []byte {
 		put64(cfg.DriftCPTSeed)
 		put32(uint32(len(driftName)))
 		buf = append(buf, driftName...)
+	}
+	if v5 {
+		put32(cfg.StripeIndex)
+		put32(cfg.StripeCount)
 	}
 	return buf
 }
@@ -453,7 +526,19 @@ func decodeStart(b []byte) (StartConfig, error) {
 		b = b[8:]
 		dn := binary.LittleEndian.Uint32(b)
 		b = b[4:]
-		if uint64(len(b)) != uint64(dn) {
+		// The version-5 stripe tail (StripeIndex, StripeCount) follows the
+		// drift name and is emitted only when striping is configured, so the
+		// length switch stays exact: drift-name bytes alone is version 4,
+		// drift-name bytes + 8 is version 5.
+		switch uint64(len(b)) {
+		case uint64(dn):
+		case uint64(dn) + 8:
+			cfg.DriftNetName = string(b[:dn])
+			b = b[dn:]
+			cfg.StripeIndex = binary.LittleEndian.Uint32(b)
+			cfg.StripeCount = binary.LittleEndian.Uint32(b[4:])
+			return cfg, nil
+		default:
 			return cfg, fmt.Errorf("cluster: start frame drift name declares %d bytes, has %d", dn, len(b))
 		}
 		cfg.DriftNetName = string(b)
@@ -712,4 +797,120 @@ func decodeHello(b []byte) (uint32, error) {
 		return 0, fmt.Errorf("cluster: hello frame length %d, want 4", len(b))
 	}
 	return binary.LittleEndian.Uint32(b), nil
+}
+
+// encodeRelayWrapped serializes the shared shape of frameRelayJoin and
+// frameRelayCtl: site id (u32), a kind byte (join kind going up, inner frame
+// type going down) and the inner payload verbatim.
+func encodeRelayWrapped(site uint32, kind byte, inner []byte) []byte {
+	b := make([]byte, 5+len(inner))
+	binary.LittleEndian.PutUint32(b[:4], site)
+	b[4] = kind
+	copy(b[5:], inner)
+	return b
+}
+
+// decodeRelayWrapped parses a frameRelayJoin or frameRelayCtl payload. The
+// returned inner slice aliases b.
+func decodeRelayWrapped(b []byte) (site uint32, kind byte, inner []byte, err error) {
+	if len(b) < 5 {
+		return 0, 0, nil, fmt.Errorf("cluster: relay wrapped frame length %d, want >= 5", len(b))
+	}
+	return binary.LittleEndian.Uint32(b[:4]), b[4], b[5:], nil
+}
+
+// relayGroup is one site's folded payload inside a frameRelayUpdates or
+// frameRelayStruct frame.
+type relayGroup struct {
+	// Site is the downstream site the payload belongs to. Relays fold but
+	// never mix sites: the trailing-gap adjustment the coordinator applies is
+	// nonlinear per site, so summing child counts across sites would change
+	// estimates — per-site vectors travel intact through every tier.
+	Site uint32
+	// Payload is the site's folded state as a frameUpdates2 or
+	// frameStructStats payload.
+	Payload []byte
+}
+
+// encodeRelayGroups serializes grouped per-site payloads into dst (reused):
+// uvarint group count, then per group uvarint site id, uvarint payload
+// length, payload bytes.
+func encodeRelayGroups(dst []byte, groups []relayGroup) []byte {
+	dst = dst[:0]
+	var tmp [binary.MaxVarintLen64]byte
+	dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(groups)))]...)
+	for _, g := range groups {
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(g.Site))]...)
+		dst = append(dst, tmp[:binary.PutUvarint(tmp[:], uint64(len(g.Payload)))]...)
+		dst = append(dst, g.Payload...)
+	}
+	return dst
+}
+
+// decodeRelayGroups parses a frameRelayUpdates or frameRelayStruct payload
+// into dst (reused), validating before any allocation that the declared
+// group count fits the site count (a relay ships at most one group per
+// downstream site) and that every declared payload length fits both the
+// remaining bytes and the inner payload cap. Group payloads alias b; the
+// inner payloads are validated by their own decoders when folded.
+func decodeRelayGroups(dst []relayGroup, b []byte, maxSites, innerCap uint32) ([]relayGroup, error) {
+	n, used := binary.Uvarint(b)
+	if used <= 0 {
+		return nil, fmt.Errorf("cluster: relay frame missing group count")
+	}
+	b = b[used:]
+	if n > uint64(maxSites) {
+		return nil, fmt.Errorf("cluster: relay frame declares %d groups, run has %d sites", n, maxSites)
+	}
+	if n*2 > uint64(len(b)) { // every group is ≥ 2 varint bytes; pre-allocation sanity bound
+		return nil, fmt.Errorf("cluster: relay frame declares %d groups in %d bytes", n, len(b))
+	}
+	if cap(dst) < int(n) {
+		dst = make([]relayGroup, 0, n)
+	} else {
+		dst = dst[:0]
+	}
+	for i := uint64(0); i < n; i++ {
+		site, used := binary.Uvarint(b)
+		if used <= 0 {
+			return nil, fmt.Errorf("cluster: relay frame truncated at group %d", i)
+		}
+		b = b[used:]
+		if site >= uint64(maxSites) {
+			return nil, fmt.Errorf("cluster: relay frame site %d out of range [0,%d)", site, maxSites)
+		}
+		plen, used := binary.Uvarint(b)
+		if used <= 0 {
+			return nil, fmt.Errorf("cluster: relay frame truncated at group %d length", i)
+		}
+		b = b[used:]
+		if plen > uint64(innerCap) {
+			return nil, fmt.Errorf("cluster: relay frame group %d payload %d exceeds cap %d", i, plen, innerCap)
+		}
+		if plen > uint64(len(b)) {
+			return nil, fmt.Errorf("cluster: relay frame group %d payload declares %d bytes, has %d", i, plen, len(b))
+		}
+		dst = append(dst, relayGroup{Site: uint32(site), Payload: b[:plen]})
+		b = b[plen:]
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("cluster: relay frame has %d trailing bytes", len(b))
+	}
+	return dst, nil
+}
+
+// relayPayloadCap is the largest well-formed grouped relay payload for a run
+// of numSites sites whose inner payloads are bounded by innerCap — the
+// grouped mirror of updatesPayloadCap, used to widen a relay-carrying
+// connection's read limit.
+func relayPayloadCap(numSites, innerCap uint32) uint32 {
+	cap := uint64(binary.MaxVarintLen32) +
+		uint64(numSites)*(2*binary.MaxVarintLen32+uint64(innerCap))
+	if cap > maxFrame {
+		return maxFrame
+	}
+	if cap < maxControlFrame {
+		return maxControlFrame
+	}
+	return uint32(cap)
 }

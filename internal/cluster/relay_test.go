@@ -1,0 +1,372 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"distbayes/internal/core"
+)
+
+// allEstimates reads every counter's final estimate from the coordinator.
+func allEstimates(co *Coordinator) []float64 {
+	total := co.layout.NumCounters()
+	out := make([]float64, total)
+	for id := uint32(0); id < total; id++ {
+		out[id] = co.Estimate(id)
+	}
+	return out
+}
+
+// TestTreeBitIdenticalToFlat is the tentpole acceptance check: a depth-2
+// relay tree produces bit-identical final estimates to a flat run of the
+// same Config (the relays fold per-site monotone counts with the same
+// idempotent max-merge the coordinator uses, so fold-then-forward cannot
+// change any estimate), while the root coordinator sees at least 3x fewer
+// frames at branching 4.
+func TestTreeBitIdenticalToFlat(t *testing.T) {
+	cfg := Config{
+		NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+		Eps: 0.1, Delta: 0.25, Sites: 8, Events: 48000, StreamSeed: 7,
+		SiteBatchEvents: 200,
+	}
+	flatRes, flatCo, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := allEstimates(flatCo)
+
+	// A generous flush interval makes the round-trigger (one frame from
+	// every active child) the dominant flush cause, so the reduction factor
+	// is robustly ~branching even on a loaded test machine.
+	treeRes, treeCo, relays, err := RunLocalTree(cfg, 4, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := allEstimates(treeCo)
+
+	for id := range flat {
+		if flat[id] != tree[id] {
+			t.Fatalf("counter %d: flat %v, tree %v — relay fold changed an estimate", id, flat[id], tree[id])
+		}
+	}
+	if treeRes.Stats.Events != flatRes.Stats.Events {
+		t.Errorf("events: tree %d, flat %d", treeRes.Stats.Events, flatRes.Stats.Events)
+	}
+	// Updates may legitimately shrink through the tree (a flush that
+	// coalesces two windows ships one entry for a twice-updated counter),
+	// never grow — the fold re-ships only changed counters.
+	if treeRes.Stats.Updates > flatRes.Stats.Updates {
+		t.Errorf("updates: tree %d > flat %d (fold must not invent reports)",
+			treeRes.Stats.Updates, flatRes.Stats.Updates)
+	}
+	if 3*treeRes.Stats.Frames > flatRes.Stats.Frames {
+		t.Errorf("root frames %d, flat %d: want >= 3x reduction at branching 4",
+			treeRes.Stats.Frames, flatRes.Stats.Frames)
+	}
+	var down int64
+	for _, r := range relays {
+		down += r.DownFrames.Load()
+	}
+	if down == 0 {
+		t.Error("relays folded no downstream frames")
+	}
+}
+
+// TestTreePerEventProtocol runs the tree under protocol v1 (one frame per
+// triggering event — the worst case for root frame load) and checks both the
+// bit-identical estimates and that the fold absorbs the much higher
+// downstream frame rate.
+func TestTreePerEventProtocol(t *testing.T) {
+	cfg := Config{
+		NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+		Eps: 0.1, Delta: 0.25, Sites: 6, Events: 6000, StreamSeed: 11,
+	}
+	_, flatCo, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := allEstimates(flatCo)
+	treeRes, treeCo, _, err := RunLocalTree(cfg, 3, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := allEstimates(treeCo)
+	for id := range flat {
+		if flat[id] != tree[id] {
+			t.Fatalf("counter %d: flat %v, tree %v", id, flat[id], tree[id])
+		}
+	}
+	if treeRes.Stats.Events != int64(cfg.Events) {
+		t.Errorf("events = %d, want %d", treeRes.Stats.Events, cfg.Events)
+	}
+}
+
+// TestTreeDepth3 chains a relay through a mid-tier relay (sites → leaf relay
+// → mid relay → coordinator), exercising the child-relay path: grouped
+// frames re-folded mid-tier and control frames re-wrapped downstream. The
+// max-merge fold is associative, so estimates stay bit-identical at any
+// depth.
+func TestTreeDepth3(t *testing.T) {
+	cfg := Config{
+		NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+		Eps: 0.1, Delta: 0.25, Sites: 4, Events: 8000, StreamSeed: 13,
+		SiteBatchEvents: 200,
+	}
+	_, flatCo, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := allEstimates(flatCo)
+
+	co, err := NewCoordinator(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	mid, err := NewRelay(RelayConfig{ID: 0, Parent: co.Addr()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mid.Close()
+	go mid.Run()
+	leaf, err := NewRelay(RelayConfig{ID: 1, Parent: mid.Addr()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaf.Close()
+	go leaf.Run()
+
+	type out struct {
+		stats Stats
+		err   error
+	}
+	outs := make(chan out, cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		go func(i int) {
+			st, err := NewSite(uint32(i), leaf.Addr()).Run()
+			outs <- out{st, err}
+		}(i)
+	}
+	res, err := co.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		o := <-outs
+		if o.err != nil {
+			t.Fatal(o.err)
+		}
+		if o.stats != res.Stats {
+			t.Fatalf("site stats %+v != coordinator %+v", o.stats, res.Stats)
+		}
+	}
+	got := allEstimates(co)
+	for id := range flat {
+		if flat[id] != got[id] {
+			t.Fatalf("counter %d: flat %v, depth-3 %v", id, flat[id], got[id])
+		}
+	}
+}
+
+// TestRelayUpstreamSevered cuts the relay's upstream link repeatedly while
+// the sites stream — the chaos case the ISSUE calls out. The relay
+// reconnects and replays its full folded vectors (plus membership and Done
+// markers), the coordinator's max-merge absorbs the re-shipped state, and
+// the final estimates stay bit-identical to a flat run.
+func TestRelayUpstreamSevered(t *testing.T) {
+	cfg := Config{
+		NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+		Eps: 0.1, Delta: 0.25, Sites: 4, Events: 40000, StreamSeed: 29,
+		SiteBatchEvents: 100,
+		// Site-side latency slows the stream enough that the severed window
+		// reliably lands mid-run.
+		LatencyMicros: 50,
+	}
+	_, flatCo, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := allEstimates(flatCo)
+
+	co, err := NewCoordinator(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	relay, err := NewRelay(RelayConfig{ID: 0, Parent: co.Addr()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relay.Close()
+	go relay.Run()
+
+	// The severing goroutine: cut the live upstream connection a few times
+	// while frames flow.
+	sever := make(chan struct{})
+	go func() {
+		defer close(sever)
+		for cut := 0; cut < 3; cut++ {
+			time.Sleep(30 * time.Millisecond)
+			relay.upMu.Lock()
+			if relay.upRaw != nil {
+				relay.upRaw.Close()
+			}
+			relay.upMu.Unlock()
+		}
+	}()
+
+	type out struct {
+		stats Stats
+		err   error
+	}
+	outs := make(chan out, cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		go func(i int) {
+			st, err := NewSite(uint32(i), relay.Addr()).Run()
+			outs <- out{st, err}
+		}(i)
+	}
+	res, err := co.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-sever
+	for i := 0; i < cfg.Sites; i++ {
+		if o := <-outs; o.err != nil {
+			t.Fatal(o.err)
+		}
+	}
+	if res.Stats.Events != int64(cfg.Events) {
+		t.Fatalf("events = %d, want %d", res.Stats.Events, cfg.Events)
+	}
+	got := allEstimates(co)
+	for id := range flat {
+		if flat[id] != got[id] {
+			t.Fatalf("counter %d: flat %v, severed-relay %v", id, flat[id], got[id])
+		}
+	}
+}
+
+// TestRelayRestart kills the relay process mid-run and starts a fresh one on
+// the same address: the relay holds no state a site cannot regenerate, so
+// the sites' own resume replays (through the new relay) heal everything and
+// the final estimates stay bit-identical to a flat run.
+func TestRelayRestart(t *testing.T) {
+	cfg := Config{
+		NetName: "alarm", CPTSeed: 0xC0DE, Strategy: core.NonUniform,
+		Eps: 0.1, Delta: 0.25, Sites: 3, Events: 30000, StreamSeed: 31,
+		SiteBatchEvents: 100,
+		LatencyMicros:   50,
+	}
+	_, flatCo, err := RunLocal(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := allEstimates(flatCo)
+
+	co, err := NewCoordinator(cfg, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	relay, err := NewRelay(RelayConfig{ID: 0, Parent: co.Addr()}, "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go relay.Run()
+	relayAddr := relay.Addr()
+
+	type out struct {
+		stats Stats
+		err   error
+	}
+	outs := make(chan out, cfg.Sites)
+	for i := 0; i < cfg.Sites; i++ {
+		go func(i int) {
+			st, err := NewSite(uint32(i), relayAddr).Run()
+			outs <- out{st, err}
+		}(i)
+	}
+
+	// Kill the relay mid-run and restart it on the same address (retrying
+	// the bind while the kernel releases the port). The disconnected sites
+	// back off, redial, and resume through the fresh relay.
+	restarted := make(chan error, 1)
+	go func() {
+		time.Sleep(40 * time.Millisecond)
+		relay.Close()
+		var r2 *Relay
+		var err error
+		for attempt := 0; attempt < 100; attempt++ {
+			if r2, err = NewRelay(RelayConfig{ID: 0, Parent: co.Addr()}, relayAddr); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		if err != nil {
+			restarted <- err
+			return
+		}
+		go r2.Run()
+		restarted <- nil
+	}()
+
+	res, err := co.Serve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-restarted; err != nil {
+		t.Fatalf("relay restart: %v", err)
+	}
+	for i := 0; i < cfg.Sites; i++ {
+		if o := <-outs; o.err != nil {
+			t.Fatal(o.err)
+		}
+	}
+	if res.Stats.Events != int64(cfg.Events) {
+		t.Fatalf("events = %d, want %d", res.Stats.Events, cfg.Events)
+	}
+	got := allEstimates(co)
+	for id := range flat {
+		if flat[id] != got[id] {
+			t.Fatalf("counter %d: flat %v, restarted-relay %v", id, flat[id], got[id])
+		}
+	}
+}
+
+// TestRelayWrappedCodecRoundTrips pins the relay wire additions: the
+// wrapped control codec and the grouped multi-site data codec.
+func TestRelayWrappedCodecRoundTrips(t *testing.T) {
+	site, kind, inner, err := decodeRelayWrapped(encodeRelayWrapped(7, relayJoinResume, []byte{1, 2, 3}))
+	if err != nil || site != 7 || kind != relayJoinResume || len(inner) != 3 {
+		t.Fatalf("wrapped round trip: %d %d %v %v", site, kind, inner, err)
+	}
+	if _, _, _, err := decodeRelayWrapped([]byte{1, 2, 3}); err == nil {
+		t.Error("short wrapped frame accepted")
+	}
+
+	groups := []relayGroup{
+		{Site: 0, Payload: encodeUpdates2(nil, []Update{{Counter: 1, LocalCount: 5}})},
+		{Site: 3, Payload: encodeUpdates2(nil, []Update{{Counter: 0, LocalCount: 2}, {Counter: 9, LocalCount: 1 << 33}})},
+	}
+	dec, err := decodeRelayGroups(nil, encodeRelayGroups(nil, groups), 8, updatesPayloadCap(fuzzMaxCounters))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec) != len(groups) {
+		t.Fatalf("group count %d, want %d", len(dec), len(groups))
+	}
+	for i := range groups {
+		if dec[i].Site != groups[i].Site {
+			t.Errorf("group %d site %d, want %d", i, dec[i].Site, groups[i].Site)
+		}
+		if string(dec[i].Payload) != string(groups[i].Payload) {
+			t.Errorf("group %d payload changed", i)
+		}
+	}
+	// Site id out of the declared range must be rejected.
+	bad := encodeRelayGroups(nil, []relayGroup{{Site: 8, Payload: []byte{0}}})
+	if _, err := decodeRelayGroups(nil, bad, 8, 64); err == nil {
+		t.Error("out-of-range group site accepted")
+	}
+}

@@ -162,6 +162,80 @@ func RunLocalChurn(cfg Config, churn ChurnConfig) (Result, *Coordinator, error) 
 	return res, co, nil
 }
 
+// RunLocalTree is RunLocal with a depth-2 aggregation tree between the sites
+// and the coordinator: ⌈Sites/branching⌉ relays each front a contiguous chunk
+// of up to branching sites, fold their frames locally, and ship coalesced
+// grouped frames upstream — so the coordinator's frame rate divides by the
+// branching factor while the folded per-site vectors (monotone counts,
+// idempotent max-merge) keep every final estimate bit-identical to a flat
+// RunLocal of the same Config. flush is the relays' FlushInterval (0 selects
+// the default); the returned relays are already closed.
+func RunLocalTree(cfg Config, branching int, flush time.Duration) (Result, *Coordinator, []*Relay, error) {
+	if branching < 1 {
+		return Result{}, nil, nil, fmt.Errorf("cluster: tree branching = %d, want >= 1", branching)
+	}
+	co, err := NewCoordinator(cfg, "127.0.0.1:0")
+	if err != nil {
+		return Result{}, nil, nil, err
+	}
+	defer co.Close()
+
+	nRelays := (cfg.Sites + branching - 1) / branching
+	relays := make([]*Relay, nRelays)
+	var rwg sync.WaitGroup
+	for i := range relays {
+		r, err := NewRelay(RelayConfig{ID: uint32(i), Parent: co.Addr(), FlushInterval: flush}, "127.0.0.1:0")
+		if err != nil {
+			for _, r := range relays[:i] {
+				r.Close()
+			}
+			return Result{}, nil, nil, err
+		}
+		relays[i] = r
+		rwg.Add(1)
+		go func() {
+			defer rwg.Done()
+			r.Run()
+		}()
+	}
+	defer func() {
+		for _, r := range relays {
+			r.Close()
+		}
+		rwg.Wait()
+	}()
+
+	type siteOut struct {
+		stats Stats
+		err   error
+	}
+	outs := make([]siteOut, cfg.Sites)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sites; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := NewSite(uint32(i), relays[i/branching].Addr()).Run()
+			outs[i] = siteOut{stats: st, err: err}
+		}(i)
+	}
+
+	res, serveErr := co.Serve()
+	wg.Wait()
+	if serveErr != nil {
+		return Result{}, nil, nil, serveErr
+	}
+	for i, o := range outs {
+		if o.err != nil {
+			return Result{}, nil, nil, fmt.Errorf("cluster: site %d: %w", i, o.err)
+		}
+		if o.stats != res.Stats {
+			return Result{}, nil, nil, fmt.Errorf("cluster: site %d saw stats %+v, coordinator %+v", i, o.stats, res.Stats)
+		}
+	}
+	return res, co, relays, nil
+}
+
 // LiveQueryMix drives the standard mid-run query workload against a live
 // coordinator until stop closes, returning the number of queries issued: a
 // QueryProb on a fresh random assignment every interval, with every eighth

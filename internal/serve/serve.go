@@ -872,6 +872,17 @@ func (s *Server) Stats() Stats {
 		st.Snapshot.Version = c.snap.Version()
 		st.Snapshot.AgeMicros = now.Sub(c.snap.BuiltAt()).Microseconds()
 	}
+	if r, ok := s.src.(StructStatsReporter); ok {
+		if ss, on := r.StructLearnStats(); on {
+			st.Struct = &StructLearnStats{
+				Frames:   ss.Frames,
+				Entries:  ss.Entries,
+				Relearns: ss.Relearns,
+				Swaps:    ss.Swaps,
+				Epoch:    ss.Epoch,
+			}
+		}
+	}
 	return st
 }
 

@@ -86,6 +86,25 @@ func (s coordinatorSource) AcquireSnapshot() (Snapshot, error) {
 	return s.co.AcquireSnapshot(), nil
 }
 
+type federationSource struct{ f *cluster.Federation }
+
+// NewFederatedSource serves queries from a striped coordinator federation:
+// the scatter-gather merge of the per-stripe estimate snapshots, behind the
+// same ModelSource interface as a single coordinator — so cmd/bnserve fronts
+// a federation unchanged. Snapshot versions are the sum of the per-stripe
+// versions (monotone, like a single coordinator's). If any stripe
+// coordinator dies, AcquireSnapshot fails and the server flips into degraded
+// mode, answering from the last-good merged snapshot.
+func NewFederatedSource(f *cluster.Federation) ModelSource { return federationSource{f} }
+
+func (s federationSource) Network() *bn.Network { return s.f.Network() }
+func (s federationSource) AcquireSnapshot() (Snapshot, error) {
+	if err := s.f.Err(); err != nil {
+		return nil, fmt.Errorf("serve: federated source: %w", err)
+	}
+	return s.f.AcquireSnapshot(), nil
+}
+
 type learnedSource struct{ co *cluster.Coordinator }
 
 // NewLearnedCoordinatorSource serves queries from a coordinator's *learned*
@@ -181,6 +200,41 @@ func (s *SwappableSource) Swap(next ModelSource) error {
 	s.cur = next
 	s.mu.Unlock()
 	return nil
+}
+
+// StructStatsReporter is the optional ModelSource extension for back ends
+// that run the structure-learning overlay: it returns the live fold counters
+// and true, or ok = false when the overlay is off. The server surfaces the
+// counters in /statsz (Stats.Struct). Coordinator-backed sources implement
+// it; SwappableSource delegates to its current back end.
+type StructStatsReporter interface {
+	StructLearnStats() (cluster.StructStats, bool)
+}
+
+func (s coordinatorSource) StructLearnStats() (cluster.StructStats, bool) {
+	if !s.co.StructLearning() {
+		return cluster.StructStats{}, false
+	}
+	return s.co.StructLearnStats(), true
+}
+
+func (s learnedSource) StructLearnStats() (cluster.StructStats, bool) {
+	if !s.co.StructLearning() {
+		return cluster.StructStats{}, false
+	}
+	return s.co.StructLearnStats(), true
+}
+
+// StructLearnStats delegates to the current back end, so /statsz keeps
+// reporting learning counters across a failover swap.
+func (s *SwappableSource) StructLearnStats() (cluster.StructStats, bool) {
+	s.mu.Lock()
+	cur := s.cur
+	s.mu.Unlock()
+	if r, ok := cur.(StructStatsReporter); ok {
+		return r.StructLearnStats()
+	}
+	return cluster.StructStats{}, false
 }
 
 // sameShape checks two networks describe the same variables (names and

@@ -121,6 +121,22 @@ type Stats struct {
 	Degraded   DegradedStats    `json:"degraded"`
 	Snapshot   SnapshotStats    `json:"snapshot"`
 	Latency    LatencyStats     `json:"latency"`
+	// Struct reports the back end's structure-learning counters; nil when
+	// the source does not run the overlay (fixed-structure runs, tracker
+	// sources, federations).
+	Struct *StructLearnStats `json:"struct,omitempty"`
+}
+
+// StructLearnStats is the /statsz view of a coordinator's online
+// structure-learning overlay: how many struct-stats frames it folded, how
+// many Chow-Liu relearns and hot structure swaps it ran, and the current
+// structure epoch.
+type StructLearnStats struct {
+	Frames   int64  `json:"frames"`
+	Entries  int64  `json:"entries"`
+	Relearns int64  `json:"relearns"`
+	Swaps    int64  `json:"swaps"`
+	Epoch    uint64 `json:"epoch"`
 }
 
 // AdmissionStats describes the admission gate: its limits, its current

@@ -4,7 +4,8 @@
 #
 # The gate is intentionally narrow: it fails only when a throughput
 # benchmark (BenchmarkParallelIngest, BenchmarkDeltaIngest,
-# BenchmarkClusterThroughput, BenchmarkServeQueries,
+# BenchmarkClusterThroughput, BenchmarkFederationThroughput,
+# BenchmarkServeQueries,
 # BenchmarkServeOverload — anything reporting events/sec or queries/sec;
 # for the overload benchmark queries/sec is the admitted-request
 # throughput under shedding) loses more than BENCH_REGRESSION_PCT
@@ -30,7 +31,7 @@ cd "$(dirname "$0")/.."
 BASELINE=${BENCH_BASELINE:-BENCH_BASELINE.txt}
 THRESHOLD=${BENCH_REGRESSION_PCT:-30}
 BENCH_TIME=${BENCH_TIME:-1s}
-PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput|BenchmarkStructLearnOverhead|BenchmarkServeQueries|BenchmarkServeOverload'
+PATTERN='BenchmarkParallelIngest|BenchmarkDeltaIngest|BenchmarkQueryProb|BenchmarkClassify$|BenchmarkEstimatedModel|BenchmarkNewTracker|BenchmarkClusterThroughput|BenchmarkStructLearnOverhead|BenchmarkFederationThroughput|BenchmarkServeQueries|BenchmarkServeOverload'
 
 run_benchmarks() {
   go test -count=1 -run '^$' -bench "$PATTERN" -benchtime "$BENCH_TIME" .
@@ -101,6 +102,29 @@ awk -v thr="$THRESHOLD" -v gate="$gate" '
       status = "ok"
       if (pct < -thr) { status = (gate ? "FAIL" : "warn"); bad = 1 }
       printf "%-8s %-45s %.0f -> %.0f ev/s (%+.1f%%)\n", status, k, base[k], cur[k], pct
+    }
+    if (bad && gate) {
+      # On failure, print the full old/new delta table benchstat-style so
+      # the CI log carries the comparison even when benchstat is absent.
+      print ""
+      print "=== regression detail (old = baseline, new = this run) ==="
+      printf "%-52s %14s %14s %9s\n", "name", "old rate/s", "new rate/s", "delta"
+      n = 0
+      for (k in base) keys[++n] = k
+      for (i = 2; i <= n; i++) {         # insertion sort: asorti is gawk-only
+        k = keys[i]
+        for (j = i - 1; j >= 1 && keys[j] > k; j--) keys[j + 1] = keys[j]
+        keys[j + 1] = k
+      }
+      for (i = 1; i <= n; i++) {
+        k = keys[i]
+        if (!(k in cur)) {
+          printf "%-52s %14.0f %14s %9s\n", k, base[k], "missing", "n/a"
+          continue
+        }
+        pct = (cur[k] - base[k]) / base[k] * 100
+        printf "%-52s %14.0f %14.0f %+8.1f%%\n", k, base[k], cur[k], pct
+      }
     }
     exit (gate ? bad : 0)
   }
